@@ -1,0 +1,81 @@
+// Command sepasm assembles SM11 source and inspects the result: words,
+// symbols, and a disassembly listing (round-tripping through the machine's
+// decoder, which doubles as a self-check of the toolchain).
+//
+//	sepasm prog.s            # assemble, print a listing
+//	sepasm -sym prog.s       # also dump the symbol table
+//	sepasm -kernel prog.s    # prepend the SUE-Go kernel ABI prelude
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+func main() {
+	syms := flag.Bool("sym", false, "dump the symbol table")
+	withPrelude := flag.Bool("kernel", false, "prepend the kernel ABI prelude")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sepasm [-sym] [-kernel] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	text := string(src)
+	if *withPrelude {
+		text = kernel.Prelude + text
+	}
+	im, err := asm.Assemble(text)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %d words at org %#04x\n", len(im.Words), im.Org)
+
+	// Invert the symbol table for label annotations.
+	byAddr := map[machine.Word][]string{}
+	var names []string
+	for name, addr := range im.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pos := 0
+	for pos < len(im.Words) {
+		addr := im.Org + machine.Word(pos)
+		for _, l := range byAddr[addr] {
+			fmt.Printf("%s:\n", l)
+		}
+		text, n := machine.Disasm(im.Words[pos:])
+		fmt.Printf("  %04x:", addr)
+		for i := 0; i < n; i++ {
+			fmt.Printf(" %04x", im.Words[pos+i])
+		}
+		for i := n; i < 3; i++ {
+			fmt.Print("     ")
+		}
+		fmt.Printf("  %s\n", text)
+		pos += n
+	}
+
+	if *syms {
+		fmt.Println("\n; symbols")
+		for _, name := range names {
+			fmt.Printf(";   %-16s %#04x\n", name, im.Symbols[name])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sepasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command seprun boots a SUE-Go separation-kernel system and runs it.
+//
+// With no arguments it runs a built-in two-regime demo (a sender and a
+// receiver joined by one kernel channel). Given assembly files, it boots
+// one regime per file, in argument order, optionally joined by channels:
+//
+//	seprun -steps 20000 red.s black.s -chan 0:1 -chan 1:0
+//
+// Each -chan FROM:TO adds a unidirectional channel between regime indexes.
+// The kernel ABI prelude (TRAP numbers, device segment addresses) is
+// prepended to every file automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+type chanFlags []string
+
+func (c *chanFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *chanFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+const demoSender = `
+	.org 0x40
+start:
+	MOV #1, R2
+loop:
+	MOV #0, R0
+	MOV R2, R1
+	TRAP #SEND
+	ADD #1, R2
+	CMP #11, R2
+	BEQ done
+	TRAP #SWAP
+	BR loop
+done:
+	TRAP #HALTME
+`
+
+const demoReceiver = `
+	.org 0x40
+start:
+	MOV #0, R4
+loop:
+	MOV #0, R0
+	TRAP #RECV
+	CMP #1, R0
+	BNE yield
+	ADD R1, R4
+	MOV R4, @0x20
+	BR loop
+yield:
+	TRAP #SWAP
+	BR loop
+`
+
+func main() {
+	steps := flag.Int("steps", 50000, "maximum machine cycles to run")
+	cut := flag.Bool("cut", false, "apply the channel-cutting transformation")
+	trace := flag.Int("trace", 0, "print the first N executed instructions")
+	slice := flag.Int("slice", 0, "fixed time slice in cycles (0 = run until SWAP)")
+	var chans chanFlags
+	flag.Var(&chans, "chan", "add a channel FROM:TO between regime indexes (repeatable)")
+	flag.Parse()
+
+	b := core.NewBuilder()
+	args := flag.Args()
+	var names []string
+	if len(args) == 0 {
+		b.Regime("sender", demoSender)
+		b.Regime("receiver", demoReceiver)
+		b.Channel("sender", "receiver", 8)
+		names = []string{"sender", "receiver"}
+		fmt.Println("seprun: no programs given; running the built-in sender/receiver demo")
+	} else {
+		for i, path := range args {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			name := fmt.Sprintf("r%d", i)
+			names = append(names, name)
+			b.Regime(name, string(src))
+		}
+		for _, spec := range chans {
+			var from, to int
+			if _, err := fmt.Sscanf(spec, "%d:%d", &from, &to); err != nil {
+				fatal(fmt.Errorf("bad -chan %q: %w", spec, err))
+			}
+			if from < 0 || from >= len(names) || to < 0 || to >= len(names) {
+				fatal(fmt.Errorf("-chan %q references a missing regime", spec))
+			}
+			b.Channel(names[from], names[to], 16)
+		}
+	}
+	if *cut {
+		b.CutChannels()
+	}
+	if *slice > 0 {
+		b.WithFixedSlice(*slice)
+	}
+
+	sys, err := b.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if *trace > 0 {
+		left := *trace
+		sys.Machine.SetTracer(func(e machine.TraceEntry) {
+			if left <= 0 {
+				return
+			}
+			left--
+			who := "kernel"
+			if e.User {
+				who = names[sys.Kernel.CurrentRegime()]
+			}
+			fmt.Printf("%s  [%s]\n", e, who)
+		})
+	}
+	n := sys.RunUntilIdle(*steps)
+
+	fmt.Printf("ran %d cycles (%d machine cycles total)\n", n, sys.Machine.Cycles())
+	if sys.Kernel.Dead() {
+		fmt.Printf("KERNEL DIED: %v\n", sys.Kernel.Cause)
+		os.Exit(1)
+	}
+	st := sys.Stats()
+	fmt.Printf("swaps=%d interrupts=%d deliveries=%d\n", st.Swaps, st.Interrupts, st.Deliveries)
+	for i, name := range names {
+		state := sys.Kernel.RegimeStateOf(i)
+		stateName := map[machine.Word]string{
+			kernel.StateRunnable: "runnable",
+			kernel.StateDead:     "halted/faulted",
+			kernel.StateWaitIRQ:  "waiting-irq",
+		}[state]
+		w, _ := sys.RegimeWord(name, 0x20)
+		fmt.Printf("regime %-10s state=%-14s instrs=%-8d mem[0x20]=%#x",
+			name, stateName, st.InstrPerRegime[i], w)
+		if f := sys.Kernel.RegimeFault(i); f.Reason != "" {
+			fmt.Printf("  fault: %s at PC %#x", f.Reason, f.PC)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seprun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Command snfesim runs the Secure Network Front End experiment (E4): a
+// malicious red component tries several encodings to smuggle user data over
+// the cleartext bypass, against censors of increasing strictness. The
+// output is the E4 table: residual covert capacity and rate per cell, with
+// end-to-end delivery and cleartext-leak checks alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/snfe"
+)
+
+func main() {
+	packets := flag.Int("packets", 64, "user-data packets per run")
+	flag.Parse()
+
+	rows, err := snfe.Sweep(*packets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snfesim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-10s %-14s %-9s %-9s %-11s %-9s %-8s\n",
+		"encoding", "censor", "cap(b/sym)", "b/round", "err-rate", "delivered", "leaked")
+	last := ""
+	for _, r := range rows {
+		if last != "" && r.Encoding != last {
+			fmt.Println()
+		}
+		last = r.Encoding
+		cz := r.Censor
+		if r.RateEvery > 0 {
+			cz = fmt.Sprintf("%s+rate/%d", r.Censor, r.RateEvery)
+		}
+		m := r.Result.Covert
+		fmt.Printf("%-10s %-14s %-10.3f %-9.4f %-11.2f %-9v %-8v\n",
+			r.Encoding, cz, m.CapacityPerSymbol, m.BitsPerRound, m.ErrorRate,
+			r.Result.Delivered, r.Result.Leaked)
+	}
+	fmt.Println("\nThe paper's claim (section 2): \"A fairly simple censor can reduce the")
+	fmt.Println("bandwidth available for illicit communication over the bypass to an")
+	fmt.Println("acceptable level.\" Compare each encoding's 'off' row with its censored rows.")
+}

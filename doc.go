@@ -1,0 +1,11 @@
+// Package repro is a library-scale reproduction of John Rushby's "Design
+// and Verification of Secure Systems" (8th SOSP, 1981): the separation
+// kernel, Proof of Separability, channel cutting, the IFA critique, and
+// the distributed secure-system designs (MLS workstation, SNFE, Guard)
+// the paper builds its argument on.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/; the
+// benchmark harness regenerating every experiment is bench_test.go (see
+// EXPERIMENTS.md for the experiment index and measured results).
+package repro

@@ -1,0 +1,57 @@
+// guard demonstrates the ACCAT Guard of the paper's section 1: traffic in
+// both directions with different security requirements per direction —
+// LOW→HIGH unhindered, HIGH→LOW under watch-officer review.
+//
+//	go run ./examples/guard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/guard"
+)
+
+func main() {
+	lowMail := []string{
+		"field report: convoy arrived on schedule",
+		"supply request: 40 crates of rations",
+	}
+	highMail := []string{
+		"weather advisory: storms clearing by 0600",
+		"patrol summary [SECRET: ambush site at grid 12A] end of summary",
+		"agent roster NOFORN — never release",
+	}
+	sys, err := guard.Build(guard.MarkerOfficer{}, lowMail, highMail)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(2000)
+
+	fmt.Println("== LOW -> HIGH (passes without hindrance) ==")
+	for _, m := range sys.High.Received {
+		if m.Kind == "mail" {
+			fmt.Printf("  HIGH received: %s\n", m.Body)
+		}
+	}
+	fmt.Println("\n== HIGH -> LOW (every message reviewed by the watch officer) ==")
+	for _, m := range sys.Low.Received {
+		tag := ""
+		if m.Arg("reviewed") == "redacted" {
+			tag = "  [redacted]"
+		}
+		fmt.Printf("  LOW received: %s%s\n", m.Body, tag)
+	}
+	for _, m := range sys.High.Received {
+		if m.Kind == "rejected" {
+			fmt.Printf("  (HIGH notified: a message was %s)\n", m.Arg("reason"))
+		}
+	}
+	fmt.Printf("\nverdicts: %d released, %d redacted, %d denied; %d passed upward\n",
+		sys.Guard.Released, sys.Guard.Redacted, sys.Guard.Denied, sys.Guard.UpPassed)
+	fmt.Println("\nThe paper's point: the Guard enforces *different* requirements per")
+	fmt.Println("direction, so building it over a kernel that hard-wires one direction")
+	fmt.Println("(as the real Guard did over KSOS) forces its essential function into")
+	fmt.Println("trusted processes. As a trusted *component* its requirements are")
+	fmt.Println("stated — and tested — directly.")
+}

@@ -1,0 +1,133 @@
+package repro
+
+// Fixture tests: the sample programs in programs/ and specifications in
+// specs/ that the README and tool help point users at must keep
+// assembling, parsing and behaving.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+func TestSampleProgramsAssemble(t *testing.T) {
+	entries, err := os.ReadDir("programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".s") {
+			continue
+		}
+		n++
+		src, err := os.ReadFile(filepath.Join("programs", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := asm.Assemble(kernel.Prelude + string(src)); err != nil {
+			t.Errorf("programs/%s does not assemble: %v", e.Name(), err)
+		}
+	}
+	if n < 3 {
+		t.Errorf("only %d sample programs found", n)
+	}
+}
+
+func TestSampleSpecsParse(t *testing.T) {
+	entries, err := os.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]bool{
+		"swap.ifa":          false, // rejected, per the paper
+		"guard.ifa":         false, // HIGH->LOW needs the officer
+		"censor_strict.ifa": true,  // the provably flow-free censor
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".ifa") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("specs", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ifa.Parse(string(src))
+		if err != nil {
+			t.Errorf("specs/%s does not parse: %v", e.Name(), err)
+			continue
+		}
+		lattice := ifa.Lattice(ifa.TwoPoint())
+		if e.Name() == "swap.ifa" {
+			lattice = ifa.Isolation("RED", "BLACK")
+		}
+		rep := ifa.Certify(prog, lattice)
+		want, known := verdicts[e.Name()]
+		if !known {
+			t.Errorf("specs/%s has no expected verdict in this test", e.Name())
+			continue
+		}
+		if rep.Certified() != want {
+			t.Errorf("specs/%s certified=%v, want %v (%s)",
+				e.Name(), rep.Certified(), want, rep.Summary())
+		}
+	}
+}
+
+func TestSampleProgramsRun(t *testing.T) {
+	read := func(name string) string {
+		src, err := os.ReadFile(filepath.Join("programs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(src)
+	}
+
+	t.Run("counter", func(t *testing.T) {
+		sys := core.NewBuilder().
+			RegimeSized("a", read("counter.s"), 0x200).
+			RegimeSized("b", read("counter.s"), 0x200).
+			MustBuild()
+		sys.Run(2000)
+		for _, name := range []string{"a", "b"} {
+			if v, _ := sys.RegimeWord(name, 0x20); v < 10 {
+				t.Errorf("%s counted only %d", name, v)
+			}
+		}
+	})
+
+	t.Run("echo", func(t *testing.T) {
+		tty := machine.NewTTY("tty0", 2)
+		sys := core.NewBuilder().
+			RegimeSized("io", read("echo.s"), 0x200, tty).
+			RegimeSized("bg", read("counter.s"), 0x200).
+			MustBuild()
+		tty.InjectString("hi")
+		sys.Run(20000)
+		if got := tty.OutputString(); got != "hi" {
+			t.Errorf("echo = %q", got)
+		}
+	})
+
+	t.Run("chanpair", func(t *testing.T) {
+		sys := core.NewBuilder().
+			RegimeSized("r0", read("chanpair.s"), 0x200).
+			RegimeSized("r1", read("chanpair.s"), 0x200).
+			Channel("r0", "r1", 16).
+			Channel("r1", "r0", 16).
+			MustBuild()
+		sys.Run(5000)
+		for _, name := range []string{"r0", "r1"} {
+			if v, _ := sys.RegimeWord(name, 0x20); v == 0 {
+				t.Errorf("%s never saw its peer's counter", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+)
+
+func mustAsm(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return im
+}
+
+func TestOrgAndSymbols(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0x200
+	start:
+		NOP
+	after:
+		HALT
+	`)
+	if im.Org != 0x200 {
+		t.Errorf("org = %#x", im.Org)
+	}
+	if v, ok := im.Symbol("start"); !ok || v != 0x200 {
+		t.Errorf("start = %#x ok=%v", v, ok)
+	}
+	if v, ok := im.Symbol("after"); !ok || v != 0x201 {
+		t.Errorf("after = %#x ok=%v", v, ok)
+	}
+	if im.End() != 0x202 {
+		t.Errorf("end = %#x", im.End())
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0
+		.equ MAGIC, 0x42
+		.word MAGIC, MAGIC+1, 'A'
+		.space 3
+		.ascii "hi"
+		.asciz "z"
+	`)
+	want := []machine.Word{0x42, 0x43, 'A', 0, 0, 0, 'h', 'i', 'z', 0}
+	if len(im.Words) != len(want) {
+		t.Fatalf("emitted %d words, want %d: %v", len(im.Words), len(want), im.Words)
+	}
+	for i, w := range want {
+		if im.Words[i] != w {
+			t.Errorf("word %d = %#x, want %#x", i, im.Words[i], w)
+		}
+	}
+}
+
+func TestMultipleOrgPadding(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0x10
+		.word 1
+		.org 0x14
+		.word 2
+	`)
+	want := []machine.Word{1, 0, 0, 0, 2}
+	for i, w := range want {
+		if im.Words[i] != w {
+			t.Errorf("word %d = %#x, want %#x", i, im.Words[i], w)
+		}
+	}
+}
+
+func TestBackwardOrgRejected(t *testing.T) {
+	if _, err := asm.Assemble(".org 0x10\n.word 1\n.org 0x5\n"); err == nil {
+		t.Error("backwards .org accepted")
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0x100
+		MOV #target, R0
+		BR target
+		.word target
+	target:
+		HALT
+	`)
+	addr, _ := im.Symbol("target")
+	if addr != 0x104 {
+		t.Fatalf("target = %#x", addr)
+	}
+	if im.Words[1] != addr {
+		t.Errorf("immediate forward ref = %#x", im.Words[1])
+	}
+	if im.Words[3] != addr {
+		t.Errorf(".word forward ref = %#x", im.Words[3])
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0
+		.equ BASE, 0x100
+		.word BASE+0x10, BASE-1, -1, 'Z'-'A', 0o17, 0b101
+	`)
+	want := []machine.Word{0x110, 0xFF, 0xFFFF, 25, 15, 5}
+	for i, w := range want {
+		if im.Words[i] != w {
+			t.Errorf("expr %d = %#x, want %#x", i, im.Words[i], w)
+		}
+	}
+}
+
+func TestDotSymbol(t *testing.T) {
+	im := mustAsm(t, `
+		.org 0x50
+		.word .
+		.word .+1
+	`)
+	if im.Words[0] != 0x50 || im.Words[1] != 0x52 {
+		t.Errorf("dot = %v", im.Words[:2])
+	}
+}
+
+func TestErrorsAreReportedWithLines(t *testing.T) {
+	cases := []string{
+		"BOGUS R0",               // unknown mnemonic
+		"MOV R0",                 // wrong arity
+		"MOV #1, #2",             // immediate destination
+		"dup: NOP\ndup: NOP",     // duplicate label
+		".word undefined_symbol", // undefined symbol
+		".equ X, 1\n.equ X, 2",   // duplicate .equ
+		"TRAP R0",                // TRAP needs #code
+		"TRAP #0x7FF0",           // code too wide
+		".ascii bad",             // unquoted string
+		".bogus 1",               // unknown directive
+		"MOV (R0, R1",            // mangled operand
+	}
+	for _, src := range cases {
+		if _, err := asm.Assemble(src); err == nil {
+			t.Errorf("accepted bad source %q", src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("error for %q lacks line info: %v", src, err)
+		}
+	}
+}
+
+func TestBranchRange(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(".org 0\nBR far\n")
+	for i := 0; i < 600; i++ {
+		b.WriteString("NOP\n")
+	}
+	b.WriteString("far: HALT\n")
+	if _, err := asm.Assemble(b.String()); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	im := mustAsm(t, `
+		; full-line comment
+		.org 0x10   ; trailing comment
+
+		NOP         ; another
+	`)
+	if len(im.Words) != 1 {
+		t.Errorf("words = %v", im.Words)
+	}
+}
+
+// Property: assembling a program of random simple instructions and
+// disassembling the image reproduces a parseable stream of the same length.
+func TestAssembleDisasmLengthAgreement(t *testing.T) {
+	prop := func(seed uint8) bool {
+		lines := []string{".org 0x100"}
+		ops := []string{"NOP", "MOV #1, R0", "ADD R1, R2", "SUB 4(R3), R4",
+			"CMP #2, @0x200", "PUSH R5", "POP R0", "NOT R1", "TRAP #3"}
+		for i := 0; i < 20; i++ {
+			lines = append(lines, ops[(int(seed)+i*7)%len(ops)])
+		}
+		im, err := asm.Assemble(strings.Join(lines, "\n"))
+		if err != nil {
+			return false
+		}
+		pos, count := 0, 0
+		for pos < len(im.Words) {
+			_, n := machine.Disasm(im.Words[pos:])
+			if n <= 0 {
+				return false
+			}
+			pos += n
+			count++
+		}
+		return count == 20 && pos == len(im.Words)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Round-trip: run an assembled program and verify execution semantics end
+// to end for each addressing mode combination.
+func TestAssembledAddressingModesExecute(t *testing.T) {
+	m := machine.New(0x1000)
+	im := mustAsm(t, `
+		.org 0x100
+		.equ SLOT, 0x300
+		MOV #0x55, @SLOT
+		MOV #SLOT, R1
+		MOV (R1), R2          ; 0x55
+		MOV #0x2F0, R3
+		MOV 0x10(R3), R4      ; mem[0x300] again
+		ADD (R1), R4          ; 0xAA
+		HALT
+	`)
+	m.LoadImage(im.Org, im.Words)
+	m.SetPC(im.Org)
+	m.Run(100)
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if m.Reg(2) != 0x55 || m.Reg(4) != 0xAA {
+		t.Errorf("R2=%#x R4=%#x", m.Reg(2), m.Reg(4))
+	}
+}
+
+// Robustness: the assembler must reject or accept arbitrary mangled input
+// without ever panicking.
+func TestAssemblerNeverPanics(t *testing.T) {
+	fragments := []string{
+		".org", "0x", "MOV", "#", ",", "(R9)", "label:", ":", ".word",
+		".equ", "\"", "@", "+", "-", "R0", "#-1", ".space -1", ".ascii",
+		"TRAP", "BR", "16(R2", "'", "..", ".asciz \"x", "a: b: c:",
+	}
+	prop := func(seed int64) bool {
+		r := seed
+		nextInt := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int((r >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		var b strings.Builder
+		for i := 0; i < 30; i++ {
+			b.WriteString(fragments[nextInt(len(fragments))])
+			if nextInt(3) == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte('\n')
+			}
+		}
+		// Success or error are both fine; a panic fails the property via
+		// the test harness.
+		_, _ = asm.Assemble(b.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package auth_test
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/distsys"
+	"repro/internal/mls"
+)
+
+func newService() *auth.Service {
+	s := auth.New("auth", "fs", "ps")
+	s.Register("alice", "wonderland", mls.L(mls.Secret))
+	s.Register("bob", "builder", mls.L(mls.Unclassified))
+	return s
+}
+
+func TestLoginSuccessAnnouncesClearance(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "term_t1", distsys.Msg("login", "user", "alice", "pass", "wonderland"))
+
+	welcomes := rec.OnPort("re_term_t1")
+	if len(welcomes) != 1 || welcomes[0].Kind != "welcome" {
+		t.Fatalf("reply = %v", welcomes)
+	}
+	lbl, err := mls.ParseCompact(welcomes[0].Arg("clearance"))
+	if err != nil || lbl.Level != mls.Secret {
+		t.Errorf("clearance = %v err=%v", lbl, err)
+	}
+	for _, srv := range []string{"fs", "ps"} {
+		anns := rec.OnPort("server_" + srv)
+		if len(anns) != 1 || anns[0].Kind != "clearance" || anns[0].Arg("user") != "alice" {
+			t.Errorf("announcement to %s = %v", srv, anns)
+		}
+	}
+	if s.SessionUser("t1") != "alice" {
+		t.Errorf("session = %q", s.SessionUser("t1"))
+	}
+}
+
+func TestLoginFailure(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "term_t1", distsys.Msg("login", "user", "alice", "pass", "wrong"))
+	s.Handle(rec, "term_t1", distsys.Msg("login", "user", "nobody", "pass", "x"))
+
+	denies := rec.OnPort("re_term_t1")
+	if len(denies) != 2 || denies[0].Kind != "denied" || denies[1].Kind != "denied" {
+		t.Fatalf("replies = %v", denies)
+	}
+	if len(rec.OnPort("server_fs")) != 0 {
+		t.Error("failed login announced to servers")
+	}
+	if a, f := s.Stats(); a != 2 || f != 2 {
+		t.Errorf("stats = %d/%d", a, f)
+	}
+	if s.SessionUser("t1") != "" {
+		t.Error("session created on failure")
+	}
+}
+
+func TestLogout(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "term_t1", distsys.Msg("login", "user", "bob", "pass", "builder"))
+	rec.Take()
+	s.Handle(rec, "term_t1", distsys.Msg("logout"))
+	if got := rec.OnPort("re_term_t1"); len(got) != 1 || got[0].Kind != "bye" {
+		t.Errorf("logout reply = %v", got)
+	}
+	if got := rec.OnPort("server_fs"); len(got) != 1 || got[0].Kind != "logout" {
+		t.Errorf("logout announcement = %v", got)
+	}
+	if s.SessionUser("t1") != "" {
+		t.Error("session persisted after logout")
+	}
+	// Logging out twice is a no-op.
+	rec.Take()
+	s.Handle(rec, "term_t1", distsys.Msg("logout"))
+	if len(rec.Sent) != 0 {
+		t.Error("double logout produced traffic")
+	}
+}
+
+func TestWhoami(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "term_t9", distsys.Msg("whoami"))
+	if got := rec.OnPort("re_term_t9"); len(got) != 1 || got[0].Arg("user") != "" {
+		t.Errorf("whoami before login = %v", got)
+	}
+}
+
+func TestNonTerminalPortIgnored(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "bogus", distsys.Msg("login", "user", "alice", "pass", "wonderland"))
+	if len(rec.Sent) != 0 {
+		t.Error("non-terminal port produced traffic")
+	}
+}
+
+func TestHashPasswordDistinct(t *testing.T) {
+	if auth.HashPassword("a") == auth.HashPassword("b") {
+		t.Error("distinct passwords hash equal")
+	}
+	if auth.VerifierString(auth.HashPassword("a")) == "" {
+		t.Error("verifier string empty")
+	}
+}
+
+func TestTerminalsAreIndependent(t *testing.T) {
+	s := newService()
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "term_t1", distsys.Msg("login", "user", "alice", "pass", "wonderland"))
+	s.Handle(rec, "term_t2", distsys.Msg("login", "user", "bob", "pass", "builder"))
+	if s.SessionUser("t1") != "alice" || s.SessionUser("t2") != "bob" {
+		t.Errorf("sessions = %q/%q", s.SessionUser("t1"), s.SessionUser("t2"))
+	}
+}

@@ -1,0 +1,209 @@
+// Package baseline implements the conventional kernelized system the paper
+// argues against: a central security kernel that enforces a single
+// multilevel policy over every process in the system — and therefore needs
+// "trusted processes" exempted from the *-property to get real work
+// (spooling, in the canonical example) done at all.
+//
+// Experiment E5 runs the same print-and-clean-up workload here and on the
+// distributed design (package workstation) and compares the trusted
+// computing bases: the baseline's TCB must grow by one policy-exempt
+// process, while the distributed design needs none.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mls"
+)
+
+// Syscalls is the kernel interface offered to processes. Every call is
+// checked by the central reference monitor against the calling process's
+// label.
+type Syscalls interface {
+	Create(name string, label mls.Label) error
+	Read(name string) ([]byte, error)
+	Write(name string, data []byte) error
+	Delete(name string) error
+	List() []string
+}
+
+// Process is one subject scheduled by the kernel. Step returns false when
+// the process has nothing further to do.
+type Process interface {
+	Name() string
+	Step(sys Syscalls) bool
+}
+
+// file is a kernel object.
+type file struct {
+	name  string
+	label mls.Label
+	data  []byte
+}
+
+// System is the kernelized baseline: kernel + central monitor + processes.
+type System struct {
+	mon   *mls.Monitor
+	files map[string]*file
+	procs []Process
+	// trusted marks processes exempted from the *-property: the TCB
+	// extension the paper's section 1 is about.
+	trusted map[string]bool
+}
+
+// New creates an empty system.
+func New() *System {
+	return &System{
+		mon:     mls.NewMonitor(),
+		files:   map[string]*file{},
+		trusted: map[string]bool{},
+	}
+}
+
+// AddProcess registers a process at a label; trusted grants the
+// *-property exemption.
+func (s *System) AddProcess(p Process, label mls.Label, trusted bool) {
+	s.procs = append(s.procs, p)
+	s.mon.AddSubject(p.Name(), label, trusted)
+	s.trusted[p.Name()] = trusted
+}
+
+// Monitor exposes the central reference monitor.
+func (s *System) Monitor() *mls.Monitor { return s.mon }
+
+// procSys binds Syscalls to one calling process.
+type procSys struct {
+	s    *System
+	proc string
+}
+
+func (ps *procSys) Create(name string, label mls.Label) error {
+	if _, exists := ps.s.files[name]; exists {
+		return fmt.Errorf("baseline: %q exists", name)
+	}
+	subj, _ := ps.s.mon.Subject(ps.proc)
+	// Creation writes the new object: it must not be below the creator.
+	if subj != nil && !label.Dominates(subj.Current) && !subj.Trusted {
+		return fmt.Errorf("baseline: create below current level")
+	}
+	ps.s.files[name] = &file{name: name, label: label}
+	ps.s.mon.AddObject(name, label)
+	return nil
+}
+
+func (ps *procSys) Read(name string) ([]byte, error) {
+	f, ok := ps.s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("baseline: no file %q", name)
+	}
+	if d := ps.s.mon.Check(ps.proc, name, mls.Observe); !d.Granted {
+		return nil, fmt.Errorf("baseline: %s", d.Rule)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (ps *procSys) Write(name string, data []byte) error {
+	f, ok := ps.s.files[name]
+	if !ok {
+		return fmt.Errorf("baseline: no file %q", name)
+	}
+	if d := ps.s.mon.Check(ps.proc, name, mls.Alter); !d.Granted {
+		return fmt.Errorf("baseline: %s", d.Rule)
+	}
+	f.data = append([]byte(nil), data...)
+	return nil
+}
+
+func (ps *procSys) Delete(name string) error {
+	if _, ok := ps.s.files[name]; !ok {
+		return fmt.Errorf("baseline: no file %q", name)
+	}
+	if d := ps.s.mon.Check(ps.proc, name, mls.Alter); !d.Granted {
+		return fmt.Errorf("baseline: %s", d.Rule)
+	}
+	delete(ps.s.files, name)
+	ps.s.mon.RemoveObject(name)
+	return nil
+}
+
+func (ps *procSys) List() []string {
+	subj, _ := ps.s.mon.Subject(ps.proc)
+	var names []string
+	for n, f := range ps.s.files {
+		if subj != nil && subj.Current.Dominates(f.label) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run schedules processes round-robin until all are idle or max steps.
+func (s *System) Run(max int) int {
+	steps := 0
+	for steps < max {
+		progress := false
+		for _, p := range s.procs {
+			if p.Step(&procSys{s: s, proc: p.Name()}) {
+				progress = true
+			}
+			steps++
+			if steps >= max {
+				return steps
+			}
+		}
+		if !progress {
+			return steps
+		}
+	}
+	return steps
+}
+
+// FileCount reports files present.
+func (s *System) FileCount() int { return len(s.files) }
+
+// FilesMatching counts files whose name has the prefix.
+func (s *System) FilesMatching(prefix string) int {
+	n := 0
+	for name := range s.files {
+		if strings.HasPrefix(name, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// FileLabel returns a file's label.
+func (s *System) FileLabel(name string) (mls.Label, bool) {
+	f, ok := s.files[name]
+	if !ok {
+		return mls.Label{}, false
+	}
+	return f.label, true
+}
+
+// TCBReport summarizes what must be verified for the system to be secure.
+type TCBReport struct {
+	KernelMonitor    bool
+	TrustedProcesses []string
+	TrustedUses      int
+	Denials          int
+}
+
+// TCB computes the report.
+func (s *System) TCB() TCBReport {
+	r := TCBReport{KernelMonitor: true}
+	var names []string
+	for n, tr := range s.trusted {
+		if tr {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	r.TrustedProcesses = names
+	r.TrustedUses = s.mon.TrustedUses()
+	r.Denials = s.mon.Denials()
+	return r
+}

@@ -1,0 +1,111 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/mls"
+)
+
+func TestUntrustedSpoolerCannotCleanUp(t *testing.T) {
+	sys, sp := baseline.SpoolerScenario(false)
+	sys.Run(1000)
+
+	// Everything printed (read-down at TOP SECRET is fine)...
+	if got := len(sp.Printed()); got != 3 {
+		t.Errorf("printed %d jobs, want 3", got)
+	}
+	// ...but the *-property blocked every delete below TOP SECRET.
+	if sp.DeleteFailures != 3 {
+		t.Errorf("delete failures = %d, want 3", sp.DeleteFailures)
+	}
+	if got := sys.FilesMatching("spool/"); got != 3 {
+		t.Errorf("leftover spool files = %d, want 3 (the paper's accumulation problem)", got)
+	}
+	tcb := sys.TCB()
+	if len(tcb.TrustedProcesses) != 0 {
+		t.Errorf("untrusted scenario has trusted processes: %v", tcb.TrustedProcesses)
+	}
+	if tcb.Denials == 0 {
+		t.Error("expected *-property denials in the audit")
+	}
+}
+
+func TestTrustedSpoolerCleansUpButJoinsTCB(t *testing.T) {
+	sys, sp := baseline.SpoolerScenario(true)
+	sys.Run(1000)
+
+	if got := len(sp.Printed()); got != 3 {
+		t.Errorf("printed %d jobs, want 3", got)
+	}
+	if sp.DeleteFailures != 0 {
+		t.Errorf("delete failures = %d, want 0", sp.DeleteFailures)
+	}
+	if got := sys.FilesMatching("spool/"); got != 0 {
+		t.Errorf("leftover spool files = %d, want 0", got)
+	}
+	tcb := sys.TCB()
+	if len(tcb.TrustedProcesses) != 1 || tcb.TrustedProcesses[0] != "spooler" {
+		t.Errorf("TCB trusted processes = %v, want [spooler]", tcb.TrustedProcesses)
+	}
+	if tcb.TrustedUses != 3 {
+		t.Errorf("trusted escape-hatch uses = %d, want 3 (one per cleanup)", tcb.TrustedUses)
+	}
+}
+
+func TestKernelEnforcesOnOrdinaryProcesses(t *testing.T) {
+	sys := baseline.New()
+	low := baseline.NewUser("low", mls.L(mls.Unclassified), "x")
+	sys.AddProcess(low, mls.L(mls.Unclassified), false)
+	sys.Run(100)
+
+	// A LOW subject can't read the SECRET file the kernel tracks.
+	sysCalls := struct{}{}
+	_ = sysCalls
+	mon := sys.Monitor()
+	mon.AddObject("secret-doc", mls.L(mls.Secret))
+	if d := mon.Check("low", "secret-doc", mls.Observe); d.Granted {
+		t.Error("read-up granted by central kernel")
+	}
+}
+
+func TestCreateBelowLevelDenied(t *testing.T) {
+	sys := baseline.New()
+	p := &createLow{}
+	sys.AddProcess(p, mls.L(mls.Secret), false)
+	sys.Run(10)
+	if p.err == nil {
+		t.Error("creating a file below the subject's level must fail (it is a write-down)")
+	}
+}
+
+type createLow struct {
+	err  error
+	done bool
+}
+
+func (c *createLow) Name() string { return "creator" }
+
+func (c *createLow) Step(sys baseline.Syscalls) bool {
+	if c.done {
+		return false
+	}
+	c.done = true
+	c.err = sys.Create("low-file", mls.L(mls.Unclassified))
+	if c.err == nil {
+		c.err = nil
+	}
+	return true
+}
+
+func TestListFiltersByLevel(t *testing.T) {
+	sys, _ := baseline.SpoolerScenario(false)
+	sys.Run(1000)
+	// Files exist at UNCLASSIFIED and SECRET; verify label assignment.
+	if lbl, ok := sys.FileLabel("spool/lois/0"); !ok || lbl.Level != mls.Unclassified {
+		t.Errorf("lois's spool label = %v ok=%v", lbl, ok)
+	}
+	if lbl, ok := sys.FileLabel("spool/hank/0"); !ok || lbl.Level != mls.Secret {
+		t.Errorf("hank's spool label = %v ok=%v", lbl, ok)
+	}
+}

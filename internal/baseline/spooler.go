@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mls"
+)
+
+// UserProc is a scripted user process: it creates spool files at its own
+// level, then idles.
+type UserProc struct {
+	name  string
+	level mls.Label
+	jobs  []string
+	done  int
+}
+
+// NewUser creates a user process that will spool the given job contents.
+func NewUser(name string, level mls.Label, jobs ...string) *UserProc {
+	return &UserProc{name: name, level: level, jobs: jobs}
+}
+
+// Name implements Process.
+func (u *UserProc) Name() string { return u.name }
+
+// Step implements Process.
+func (u *UserProc) Step(sys Syscalls) bool {
+	if u.done >= len(u.jobs) {
+		return false
+	}
+	name := fmt.Sprintf("spool/%s/%d", u.name, u.done)
+	if err := sys.Create(name, u.level); err == nil {
+		sys.Write(name, []byte(u.jobs[u.done]))
+	}
+	u.done++
+	return true
+}
+
+// Spooler is the classic line-printer spooler of the paper's section 1:
+// it runs at the highest classification so it can read every user's spool
+// files, prints them, and then tries to delete them — a write-down that
+// the *-property forbids unless the spooler is made a trusted process.
+type Spooler struct {
+	name    string
+	printed []string
+	// DeleteFailures counts spool files it could not clean up.
+	DeleteFailures int
+	seen           map[string]bool
+}
+
+// NewSpooler creates the spooler process.
+func NewSpooler(name string) *Spooler {
+	return &Spooler{name: name, seen: map[string]bool{}}
+}
+
+// Name implements Process.
+func (sp *Spooler) Name() string { return sp.name }
+
+// Step implements Process: print one unseen spool file per step.
+func (sp *Spooler) Step(sys Syscalls) bool {
+	for _, name := range sys.List() {
+		if !strings.HasPrefix(name, "spool/") || sp.seen[name] {
+			continue
+		}
+		sp.seen[name] = true
+		data, err := sys.Read(name)
+		if err != nil {
+			continue
+		}
+		sp.printed = append(sp.printed, string(data))
+		if err := sys.Delete(name); err != nil {
+			sp.DeleteFailures++
+		}
+		return true
+	}
+	return false
+}
+
+// Printed returns the jobs printed so far.
+func (sp *Spooler) Printed() []string { return append([]string(nil), sp.printed...) }
+
+// SpoolerScenario wires the canonical workload: users at several levels
+// spool jobs; the spooler at TOP SECRET prints and tries to clean up.
+// When trusted is false the *-property blocks the cleanup and used spool
+// files accumulate — the paper's exact motivating example.
+func SpoolerScenario(trusted bool) (*System, *Spooler) {
+	s := New()
+	s.AddProcess(NewUser("lois", mls.L(mls.Unclassified),
+		"job lois 1", "job lois 2"), mls.L(mls.Unclassified), false)
+	s.AddProcess(NewUser("hank", mls.L(mls.Secret),
+		"job hank 1"), mls.L(mls.Secret), false)
+	sp := NewSpooler("spooler")
+	s.AddProcess(sp, mls.L(mls.TopSecret), trusted)
+	return s, sp
+}

@@ -1,0 +1,111 @@
+// Package covert measures storage-channel bandwidth, in the spirit of
+// Lampson's confinement analysis [15] and the bypass-bandwidth concern of
+// the paper's SNFE discussion: "A fairly simple censor can reduce the
+// bandwidth available for illicit communication over the bypass to an
+// acceptable level."
+//
+// The harness is symbol-oriented: a sender embeds a known pseudo-random
+// bitstring into some carrier, a receiver decodes what it can, and the
+// package turns (sent, received) into an error rate, a binary-symmetric-
+// channel capacity estimate, and a bits-per-round bandwidth figure.
+package covert
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bitstring generates n pseudo-random bits from a seed (xorshift64star, so
+// results are stable across platforms and runs).
+func Bitstring(seed uint64, n int) []int {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	x := seed
+	bits := make([]int, n)
+	for i := range bits {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		bits[i] = int((x * 0x2545F4914F6CDD1D) >> 63)
+	}
+	return bits
+}
+
+// Compare aligns received against sent (position-wise) and counts matches.
+// Extra received bits beyond len(sent) are ignored; missing bits count as
+// erased (wrong).
+func Compare(sent, received []int) (matched, total int) {
+	total = len(sent)
+	for i := 0; i < len(sent) && i < len(received); i++ {
+		if sent[i] == received[i] {
+			matched++
+		}
+	}
+	return matched, total
+}
+
+// Measurement is the outcome of one covert-channel experiment.
+type Measurement struct {
+	BitsSent     int
+	BitsReceived int     // how many symbol slots the receiver decoded
+	BitsCorrect  int     // position-wise matches
+	Rounds       int     // fabric rounds the transfer took
+	ErrorRate    float64 // 1 - correct/sent
+	// CapacityPerSymbol is the binary-symmetric-channel capacity
+	// 1 - H2(p) in bits per decoded symbol.
+	CapacityPerSymbol float64
+	// BitsPerRound is the effective leak rate: capacity * symbols / rounds.
+	BitsPerRound float64
+}
+
+// Measure computes the statistics for one experiment.
+func Measure(sent, received []int, rounds int) Measurement {
+	correct, total := Compare(sent, received)
+	m := Measurement{
+		BitsSent:     total,
+		BitsReceived: len(received),
+		BitsCorrect:  correct,
+		Rounds:       rounds,
+	}
+	if total > 0 {
+		m.ErrorRate = 1 - float64(correct)/float64(total)
+	}
+	m.CapacityPerSymbol = BSCCapacity(m.ErrorRate)
+	if rounds > 0 {
+		m.BitsPerRound = m.CapacityPerSymbol * float64(total) / float64(rounds)
+	}
+	return m
+}
+
+// BSCCapacity is the Shannon capacity of a binary symmetric channel with
+// crossover probability p: 1 - H2(p), clamped to [0, 1]. A channel at
+// p = 0.5 carries nothing; p = 0 or p = 1 carries one bit per symbol.
+func BSCCapacity(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Symmetry: a perfectly anti-correlated channel is as good as a
+	// perfect one.
+	if p > 0.5 {
+		p = 1 - p
+	}
+	if p == 0 {
+		return 1
+	}
+	h := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	c := 1 - h
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// String renders the measurement for reports.
+func (m Measurement) String() string {
+	return fmt.Sprintf("sent=%d correct=%d err=%.2f cap=%.3f b/sym rate=%.4f b/round",
+		m.BitsSent, m.BitsCorrect, m.ErrorRate, m.CapacityPerSymbol, m.BitsPerRound)
+}

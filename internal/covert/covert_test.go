@@ -1,0 +1,107 @@
+package covert_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/covert"
+)
+
+func TestBitstringDeterministic(t *testing.T) {
+	a := covert.Bitstring(7, 128)
+	b := covert.Bitstring(7, 128)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bitstring not deterministic at %d", i)
+		}
+	}
+	c := covert.Bitstring(8, 128)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical bitstrings")
+	}
+}
+
+func TestBitstringBalance(t *testing.T) {
+	bits := covert.Bitstring(42, 4096)
+	ones := 0
+	for _, b := range bits {
+		ones += b
+	}
+	frac := float64(ones) / float64(len(bits))
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("bitstring bias: %.3f ones", frac)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	sent := []int{1, 0, 1, 1}
+	if m, n := covert.Compare(sent, []int{1, 0, 1, 1}); m != 4 || n != 4 {
+		t.Errorf("perfect match = %d/%d", m, n)
+	}
+	if m, _ := covert.Compare(sent, []int{0, 1, 0, 0}); m != 0 {
+		t.Errorf("inverted match = %d", m)
+	}
+	if m, n := covert.Compare(sent, []int{1, 0}); m != 2 || n != 4 {
+		t.Errorf("truncated match = %d/%d", m, n)
+	}
+}
+
+func TestBSCCapacityEndpoints(t *testing.T) {
+	if got := covert.BSCCapacity(0); got != 1 {
+		t.Errorf("C(0) = %f", got)
+	}
+	if got := covert.BSCCapacity(1); got != 1 {
+		t.Errorf("C(1) = %f (anti-correlated channel is perfect)", got)
+	}
+	if got := covert.BSCCapacity(0.5); got > 1e-9 {
+		t.Errorf("C(0.5) = %f, want 0", got)
+	}
+}
+
+func TestBSCCapacityProperties(t *testing.T) {
+	prop := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		c := covert.BSCCapacity(p)
+		if c < 0 || c > 1 {
+			return false
+		}
+		// Symmetry about 1/2.
+		return math.Abs(c-covert.BSCCapacity(1-p)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	// Monotone decreasing on [0, 1/2].
+	prev := covert.BSCCapacity(0)
+	for p := 0.05; p <= 0.5; p += 0.05 {
+		c := covert.BSCCapacity(p)
+		if c > prev+1e-9 {
+			t.Errorf("capacity not decreasing at p=%.2f", p)
+		}
+		prev = c
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	sent := covert.Bitstring(1, 100)
+	m := covert.Measure(sent, sent, 200)
+	if m.ErrorRate != 0 || m.CapacityPerSymbol != 1 {
+		t.Errorf("perfect channel measured as %+v", m)
+	}
+	if math.Abs(m.BitsPerRound-0.5) > 1e-9 {
+		t.Errorf("100 bits over 200 rounds = %.3f b/round, want 0.5", m.BitsPerRound)
+	}
+	// A garbage receiver carries (roughly) nothing.
+	noise := covert.Bitstring(99, 100)
+	m2 := covert.Measure(sent, noise, 200)
+	if m2.CapacityPerSymbol > 0.2 {
+		t.Errorf("random decoding capacity %.3f, want ~0", m2.CapacityPerSymbol)
+	}
+}

@@ -1,0 +1,190 @@
+package distmachine_test
+
+import (
+	"testing"
+
+	"repro/internal/distmachine"
+)
+
+// The ping node sends 1..5 down its link, prints each reply as a digit.
+// Wait loops yield politely with TRAP #SWAP — a genuine yield on the
+// kernel deployment, a shim no-op on real hardware.
+const pingSrc = `
+	.org 0x40
+	.equ CON_S,  0x8000
+	.equ CON_D,  0x8001
+	.equ TX_S,   0x9000
+	.equ TX_D,   0x9001
+	.equ RX_S,   0xA000
+	.equ RX_D,   0xA001
+start:
+	MOV #1, R2
+loop:
+wtx:
+	MOV @TX_S, R0
+	AND #1, R0
+	BNE stx
+	TRAP #SWAP
+	BR wtx
+stx:
+	MOV R2, @TX_D        ; send the number
+wrx:
+	MOV @RX_S, R0
+	AND #1, R0
+	BNE srx
+	TRAP #SWAP
+	BR wrx
+srx:
+	MOV @RX_D, R1        ; the reply (number+1)
+wcon:
+	MOV @CON_S, R0
+	AND #1, R0
+	BNE pr
+	TRAP #SWAP
+	BR wcon
+pr:
+	ADD #'0', R1
+	MOV R1, @CON_D       ; print it as a digit
+	ADD #1, R2
+	CMP #6, R2
+	BNE loop
+idle:
+	TRAP #SWAP
+	BR idle
+`
+
+// The pong node echoes each received number, incremented, and prints what
+// it received.
+const pongSrc = `
+	.org 0x40
+	.equ CON_S,  0x8000
+	.equ CON_D,  0x8001
+	.equ RX_S,   0x9000
+	.equ RX_D,   0x9001
+	.equ TX_S,   0xA000
+	.equ TX_D,   0xA001
+start:
+loop:
+wrx:
+	MOV @RX_S, R0
+	AND #1, R0
+	BNE srx
+	TRAP #SWAP
+	BR wrx
+srx:
+	MOV @RX_D, R2
+wcon:
+	MOV @CON_S, R0
+	AND #1, R0
+	BNE pr
+	TRAP #SWAP
+	BR wcon
+pr:
+	MOV R2, R1
+	ADD #'0', R1
+	MOV R1, @CON_D       ; print the received number
+	ADD #1, R2           ; reply = received + 1
+wtx:
+	MOV @TX_S, R0
+	AND #1, R0
+	BNE stx
+	TRAP #SWAP
+	BR wtx
+stx:
+	MOV R2, @TX_D
+	BR loop
+`
+
+func topology() ([]distmachine.Node, []distmachine.Wire) {
+	nodes := []distmachine.Node{
+		{Name: "ping", Source: pingSrc},
+		{Name: "pong", Source: pongSrc},
+	}
+	wires := []distmachine.Wire{
+		{From: "ping", To: "pong", Capacity: 4},
+		{From: "pong", To: "ping", Capacity: 4},
+	}
+	return nodes, wires
+}
+
+func TestPhysicalDeploymentRuns(t *testing.T) {
+	nodes, wires := topology()
+	d, err := distmachine.BuildPhysical(nodes, wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(20000)
+	if got := d.ConsoleOutput("ping"); got != "23456" {
+		t.Errorf("ping console = %q, want 23456", got)
+	}
+	if got := d.ConsoleOutput("pong"); got != "12345" {
+		t.Errorf("pong console = %q, want 12345", got)
+	}
+}
+
+func TestSharedDeploymentRuns(t *testing.T) {
+	nodes, wires := topology()
+	d, err := distmachine.BuildShared(nodes, wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(40000)
+	if d.Kernel.Dead() {
+		t.Fatalf("kernel died: %v", d.Kernel.Cause)
+	}
+	if got := d.ConsoleOutput("ping"); got != "23456" {
+		t.Errorf("ping console = %q, want 23456", got)
+	}
+	if got := d.ConsoleOutput("pong"); got != "12345" {
+		t.Errorf("pong console = %q, want 12345", got)
+	}
+}
+
+// The machine-level E7: the SAME programs, one build physically
+// distributed across two machines, one multiplexed by the separation
+// kernel — identical observable console output at every node.
+func TestDeploymentsObservationallyEqual(t *testing.T) {
+	nodes, wires := topology()
+	phys, err := distmachine.BuildPhysical(nodes, wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys.Run(20000)
+
+	nodes2, wires2 := topology()
+	shared, err := distmachine.BuildShared(nodes2, wires2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.Run(40000)
+
+	for _, n := range []string{"ping", "pong"} {
+		p, s := phys.ConsoleOutput(n), shared.ConsoleOutput(n)
+		if p != s {
+			t.Errorf("node %s distinguishable: physical=%q shared=%q", n, p, s)
+		}
+		if p == "" {
+			t.Errorf("node %s produced no output", n)
+		}
+	}
+}
+
+// Under fixed time slices the shared deployment still produces the same
+// observations (and closes the scheduling channel as a bonus).
+func TestSharedDeploymentWithFixedSliceKernel(t *testing.T) {
+	nodes, wires := topology()
+	d, err := distmachine.BuildSharedSliced(nodes, wires, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(200000)
+	if d.Kernel.Dead() {
+		t.Fatalf("kernel died: %v", d.Kernel.Cause)
+	}
+	if got := d.ConsoleOutput("ping"); got != "23456" {
+		t.Errorf("ping console under fixed slices = %q", got)
+	}
+	if got := d.ConsoleOutput("pong"); got != "12345" {
+		t.Errorf("pong console under fixed slices = %q", got)
+	}
+}

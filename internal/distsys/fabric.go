@@ -1,0 +1,350 @@
+package distsys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Context is the interface the fabric hands to a component while it runs.
+type Context interface {
+	// Send queues a message on one of the component's outbound ports.
+	// Sending on an unconnected port is a configuration error and panics:
+	// in a physically distributed system the wire either exists or it
+	// does not.
+	Send(port string, m Message)
+	// Connected reports whether an outbound port has a wire.
+	Connected(port string) bool
+	// Now is the fabric's global round counter. (A real distributed
+	// component would have only a local clock; components that want to be
+	// deployment-invariant must not let Now influence their outputs.)
+	Now() uint64
+}
+
+// Component is a deterministic reactive state machine.
+type Component interface {
+	// Name identifies the component; it must be unique in a fabric.
+	Name() string
+	// Handle processes one inbound message from the named port.
+	Handle(ctx Context, port string, m Message)
+	// Poll gives active components a chance to originate work when no
+	// message is pending; return false when idle.
+	Poll(ctx Context) bool
+}
+
+// TraceEvent is one observation in a component's local history.
+type TraceEvent struct {
+	Dir  string // "recv" or "send"
+	Port string
+	Msg  string // canonical rendering
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%s %s: %s", e.Dir, e.Port, e.Msg)
+}
+
+// wire is a unidirectional FIFO between two ports.
+type wire struct {
+	fromComp, fromPort string
+	toComp, toPort     string
+	queue              []Message
+	// inFlight holds messages sent this round under the Physical
+	// deployment; they become deliverable next round (wire latency).
+	inFlight []Message
+	capacity int
+	dropped  int
+}
+
+// Deployment selects how the fabric multiplexes its components.
+type Deployment int
+
+// Deployment kinds.
+const (
+	// Physical lock-steps all components: every round, each component
+	// handles at most one message (or polls); sends travel one round of
+	// wire latency. This is the idealized distributed implementation.
+	Physical Deployment = iota
+	// KernelHosted multiplexes one processor: components run round-robin
+	// with a quantum of handling steps; delivery is immediate FIFO.
+	KernelHosted
+)
+
+// Fabric wires components together and runs them.
+type Fabric struct {
+	Deploy  Deployment
+	Quantum int // KernelHosted: handling steps per scheduling turn (default 4)
+
+	comps  []Component
+	byName map[string]Component
+	wires  []*wire
+	// outIndex: component -> port -> wire
+	outIndex map[string]map[string]*wire
+	// inIndex: component -> ordered in-ports (wire list)
+	inIndex map[string][]*wire
+
+	traces    map[string][]TraceEvent
+	rounds    uint64
+	delivered uint64
+}
+
+// New creates an empty fabric for the given deployment.
+func New(d Deployment) *Fabric {
+	return &Fabric{
+		Deploy:   d,
+		Quantum:  4,
+		byName:   map[string]Component{},
+		outIndex: map[string]map[string]*wire{},
+		inIndex:  map[string][]*wire{},
+		traces:   map[string][]TraceEvent{},
+	}
+}
+
+// Add registers a component.
+func (f *Fabric) Add(c Component) error {
+	if _, dup := f.byName[c.Name()]; dup {
+		return fmt.Errorf("distsys: duplicate component %q", c.Name())
+	}
+	f.byName[c.Name()] = c
+	f.comps = append(f.comps, c)
+	return nil
+}
+
+// MustAdd is Add for static configurations.
+func (f *Fabric) MustAdd(c Component) {
+	if err := f.Add(c); err != nil {
+		panic(err)
+	}
+}
+
+// Connect creates a dedicated unidirectional wire. Endpoints are written
+// "component:port".
+func (f *Fabric) Connect(from, to string, capacity int) error {
+	fc, fp, err := splitEndpoint(from)
+	if err != nil {
+		return err
+	}
+	tc, tp, err := splitEndpoint(to)
+	if err != nil {
+		return err
+	}
+	if _, ok := f.byName[fc]; !ok {
+		return fmt.Errorf("distsys: unknown component %q", fc)
+	}
+	if _, ok := f.byName[tc]; !ok {
+		return fmt.Errorf("distsys: unknown component %q", tc)
+	}
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if m := f.outIndex[fc]; m != nil && m[fp] != nil {
+		return fmt.Errorf("distsys: port %s already wired", from)
+	}
+	w := &wire{fromComp: fc, fromPort: fp, toComp: tc, toPort: tp, capacity: capacity}
+	f.wires = append(f.wires, w)
+	if f.outIndex[fc] == nil {
+		f.outIndex[fc] = map[string]*wire{}
+	}
+	f.outIndex[fc][fp] = w
+	f.inIndex[tc] = append(f.inIndex[tc], w)
+	return nil
+}
+
+// MustConnect is Connect for static configurations.
+func (f *Fabric) MustConnect(from, to string, capacity int) {
+	if err := f.Connect(from, to, capacity); err != nil {
+		panic(err)
+	}
+}
+
+func splitEndpoint(s string) (comp, port string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("distsys: bad endpoint %q (want component:port)", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// ctx is the per-component Context implementation.
+type ctx struct {
+	f    *Fabric
+	comp string
+}
+
+func (c *ctx) Send(port string, m Message) {
+	w := c.f.outIndex[c.comp][port]
+	if w == nil {
+		panic(fmt.Sprintf("distsys: component %q sent on unwired port %q", c.comp, port))
+	}
+	c.f.trace(c.comp, "send", port, m)
+	msg := m.Clone()
+	if c.f.Deploy == Physical {
+		w.inFlight = append(w.inFlight, msg)
+		return
+	}
+	if len(w.queue) >= w.capacity {
+		w.dropped++
+		return
+	}
+	w.queue = append(w.queue, msg)
+}
+
+func (c *ctx) Connected(port string) bool { return c.f.outIndex[c.comp][port] != nil }
+
+func (c *ctx) Now() uint64 { return c.f.rounds }
+
+func (f *Fabric) trace(comp, dir, port string, m Message) {
+	f.traces[comp] = append(f.traces[comp], TraceEvent{Dir: dir, Port: port, Msg: m.Canonical()})
+}
+
+// deliverOne pops the next pending message for a component (scanning its
+// in-wires in connection order) and handles it. Reports progress.
+func (f *Fabric) deliverOne(comp Component) bool {
+	for _, w := range f.inIndex[comp.Name()] {
+		if len(w.queue) == 0 {
+			continue
+		}
+		m := w.queue[0]
+		w.queue = w.queue[1:]
+		f.trace(comp.Name(), "recv", w.toPort, m)
+		f.delivered++
+		comp.Handle(&ctx{f: f, comp: comp.Name()}, w.toPort, m)
+		return true
+	}
+	return false
+}
+
+// StepRound advances the fabric one scheduling round. Reports whether any
+// component made progress.
+func (f *Fabric) StepRound() bool {
+	f.rounds++
+	progress := false
+	switch f.Deploy {
+	case Physical:
+		for _, c := range f.comps {
+			if f.deliverOne(c) {
+				progress = true
+			} else if c.Poll(&ctx{f: f, comp: c.Name()}) {
+				progress = true
+			}
+		}
+		// Wire latency: sends travel between rounds.
+		for _, w := range f.wires {
+			for _, m := range w.inFlight {
+				if len(w.queue) >= w.capacity {
+					w.dropped++
+					continue
+				}
+				w.queue = append(w.queue, m)
+			}
+			w.inFlight = nil
+		}
+	case KernelHosted:
+		for _, c := range f.comps {
+			for q := 0; q < f.Quantum; q++ {
+				if f.deliverOne(c) {
+					progress = true
+					continue
+				}
+				if c.Poll(&ctx{f: f, comp: c.Name()}) {
+					progress = true
+					continue
+				}
+				break
+			}
+		}
+	}
+	return progress
+}
+
+// Run advances up to n rounds, stopping early when the system quiesces.
+// It returns the number of rounds executed.
+func (f *Fabric) Run(n int) int {
+	for i := 0; i < n; i++ {
+		if !f.StepRound() {
+			// Physical deployment: in-flight messages may still arrive.
+			pending := false
+			for _, w := range f.wires {
+				if len(w.queue) > 0 || len(w.inFlight) > 0 {
+					pending = true
+					break
+				}
+			}
+			if !pending {
+				return i
+			}
+		}
+	}
+	return n
+}
+
+// Trace returns a component's local observation history.
+func (f *Fabric) Trace(comp string) []TraceEvent {
+	return append([]TraceEvent(nil), f.traces[comp]...)
+}
+
+// PortTrace returns only the events of one component port and direction.
+func (f *Fabric) PortTrace(comp, dir, port string) []string {
+	var out []string
+	for _, e := range f.traces[comp] {
+		if e.Dir == dir && e.Port == port {
+			out = append(out, e.Msg)
+		}
+	}
+	return out
+}
+
+// Delivered reports the total number of messages handled.
+func (f *Fabric) Delivered() uint64 { return f.delivered }
+
+// Dropped reports messages lost to full wires.
+func (f *Fabric) Dropped() int {
+	n := 0
+	for _, w := range f.wires {
+		n += w.dropped
+	}
+	return n
+}
+
+// Component returns a registered component by name.
+func (f *Fabric) Component(name string) (Component, bool) {
+	c, ok := f.byName[name]
+	return c, ok
+}
+
+// Rounds returns the number of rounds executed so far.
+func (f *Fabric) Rounds() uint64 { return f.rounds }
+
+// PerPortTracesEqual compares one component's observation history across
+// two fabrics, port by port: for every (direction, port), the message
+// sequences must be identical. This is the observational-equivalence
+// statement of experiment E7: each component, looking only at its own
+// wires, cannot distinguish the deployments.
+func PerPortTracesEqual(a, b *Fabric, comp string) (bool, string) {
+	ports := map[[2]string]bool{}
+	for _, e := range a.traces[comp] {
+		ports[[2]string{e.Dir, e.Port}] = true
+	}
+	for _, e := range b.traces[comp] {
+		ports[[2]string{e.Dir, e.Port}] = true
+	}
+	for p := range ports {
+		ta := a.PortTrace(comp, p[0], p[1])
+		tb := b.PortTrace(comp, p[0], p[1])
+		if len(ta) != len(tb) {
+			return false, fmt.Sprintf("%s %s/%s: %d vs %d events", comp, p[0], p[1], len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return false, fmt.Sprintf("%s %s/%s event %d: %q vs %q", comp, p[0], p[1], i, ta[i], tb[i])
+			}
+		}
+	}
+	return true, ""
+}
+
+// NewInjector returns a Context bound to a component's outbound ports for
+// use from OUTSIDE the scheduling loop — bootstrap scripts and tests that
+// need to place messages on a component's wires before or between rounds.
+// Sends are recorded in the component's trace like any other.
+func NewInjector(f *Fabric, comp string) Context {
+	return &ctx{f: f, comp: comp}
+}

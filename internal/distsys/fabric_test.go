@@ -1,0 +1,173 @@
+package distsys_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/distsys"
+)
+
+// echo replies to every "ping" with a "pong" carrying the same payload.
+type echo struct{ name string }
+
+func (e *echo) Name() string { return e.name }
+
+func (e *echo) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if m.Kind == "ping" {
+		ctx.Send("reply", distsys.Msg("pong", "n", m.Arg("n")))
+	}
+}
+
+func (e *echo) Poll(distsys.Context) bool { return false }
+
+// pinger sends count pings, then records the pongs it gets back.
+type pinger struct {
+	name  string
+	count int
+	sent  int
+	Got   []string
+}
+
+func (p *pinger) Name() string { return p.name }
+
+func (p *pinger) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if m.Kind == "pong" {
+		p.Got = append(p.Got, m.Arg("n"))
+	}
+}
+
+func (p *pinger) Poll(ctx distsys.Context) bool {
+	if p.sent < p.count {
+		ctx.Send("out", distsys.Msg("ping", "n", fmt.Sprintf("%d", p.sent)))
+		p.sent++
+		return true
+	}
+	return false
+}
+
+func buildPingPong(d distsys.Deployment, n int) (*distsys.Fabric, *pinger) {
+	f := distsys.New(d)
+	p := &pinger{name: "client", count: n}
+	e := &echo{name: "server"}
+	f.MustAdd(p)
+	f.MustAdd(e)
+	f.MustConnect("client:out", "server:in", 16)
+	f.MustConnect("server:reply", "client:in", 16)
+	return f, p
+}
+
+func TestPingPongPhysical(t *testing.T) {
+	f, p := buildPingPong(distsys.Physical, 5)
+	f.Run(100)
+	if len(p.Got) != 5 {
+		t.Fatalf("client got %d pongs, want 5", len(p.Got))
+	}
+	for i, n := range p.Got {
+		if n != fmt.Sprintf("%d", i) {
+			t.Errorf("pong %d carries %q (FIFO violated?)", i, n)
+		}
+	}
+}
+
+func TestPingPongKernelHosted(t *testing.T) {
+	f, p := buildPingPong(distsys.KernelHosted, 5)
+	f.Run(100)
+	if len(p.Got) != 5 {
+		t.Fatalf("client got %d pongs, want 5", len(p.Got))
+	}
+}
+
+func TestDeploymentsIndistinguishablePerPort(t *testing.T) {
+	f1, _ := buildPingPong(distsys.Physical, 8)
+	f2, _ := buildPingPong(distsys.KernelHosted, 8)
+	f1.Run(200)
+	f2.Run(200)
+	for _, comp := range []string{"client", "server"} {
+		if ok, why := distsys.PerPortTracesEqual(f1, f2, comp); !ok {
+			t.Errorf("deployments distinguishable at %s: %s", comp, why)
+		}
+	}
+}
+
+func TestRunStopsWhenQuiescent(t *testing.T) {
+	f, _ := buildPingPong(distsys.Physical, 3)
+	rounds := f.Run(10000)
+	if rounds >= 10000 {
+		t.Errorf("fabric never quiesced (%d rounds)", rounds)
+	}
+}
+
+func TestUnwiredSendPanics(t *testing.T) {
+	f := distsys.New(distsys.Physical)
+	p := &pinger{name: "lonely", count: 1}
+	f.MustAdd(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("send on unwired port did not panic")
+		}
+	}()
+	f.Run(1)
+}
+
+func TestConnectValidation(t *testing.T) {
+	f := distsys.New(distsys.Physical)
+	f.MustAdd(&echo{name: "a"})
+	f.MustAdd(&echo{name: "b"})
+	if err := f.Connect("a:x", "nosuch:y", 4); err == nil {
+		t.Error("connect to unknown component accepted")
+	}
+	if err := f.Connect("ax", "b:y", 4); err == nil {
+		t.Error("malformed endpoint accepted")
+	}
+	if err := f.Connect("a:x", "b:y", 4); err != nil {
+		t.Errorf("valid connect rejected: %v", err)
+	}
+	if err := f.Connect("a:x", "b:z", 4); err == nil {
+		t.Error("double-wired out port accepted")
+	}
+	if err := f.Add(&echo{name: "a"}); err == nil {
+		t.Error("duplicate component accepted")
+	}
+}
+
+func TestWireCapacityDrops(t *testing.T) {
+	f := distsys.New(distsys.KernelHosted)
+	p := &pinger{name: "client", count: 50}
+	f.MustAdd(p)
+	// The client bursts Quantum sends per turn into a capacity-2 wire;
+	// the overflow within a single turn must be dropped, not queued.
+	f.MustAdd(&blackhole{})
+	f.MustConnect("client:out", "hole:in", 2)
+	f.Run(200)
+	if f.Dropped() == 0 {
+		t.Error("expected drops on a capacity-4 wire receiving 50 sends")
+	}
+}
+
+// blackhole accepts and discards everything sent to it.
+type blackhole struct{}
+
+func (b *blackhole) Name() string { return "hole" }
+
+func (b *blackhole) Handle(distsys.Context, string, distsys.Message) {}
+
+func (b *blackhole) Poll(distsys.Context) bool { return false }
+
+func TestMessageCanonicalDeterministic(t *testing.T) {
+	m1 := distsys.Msg("op", "b", "2", "a", "1").WithBody([]byte("xyz"))
+	m2 := distsys.Msg("op", "a", "1", "b", "2").WithBody([]byte("xyz"))
+	if m1.Canonical() != m2.Canonical() {
+		t.Errorf("canonical rendering depends on argument order: %q vs %q",
+			m1.Canonical(), m2.Canonical())
+	}
+}
+
+func TestMessageCloneIsDeep(t *testing.T) {
+	m := distsys.Msg("op", "k", "v").WithBody([]byte("abc"))
+	c := m.Clone()
+	c.Args["k"] = "changed"
+	c.Body[0] = 'z'
+	if m.Arg("k") != "v" || m.Body[0] != 'a' {
+		t.Error("clone shares storage with original")
+	}
+}

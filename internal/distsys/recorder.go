@@ -1,0 +1,45 @@
+package distsys
+
+// Recorder is a stand-alone Context for unit-testing a single component
+// without a fabric: it records every send and treats all ports as wired.
+type Recorder struct {
+	// Sent accumulates (port, message) pairs in order.
+	Sent []SentMessage
+	// Round is returned by Now and may be advanced by the test.
+	Round uint64
+}
+
+// SentMessage is one recorded send.
+type SentMessage struct {
+	Port string
+	Msg  Message
+}
+
+// Send implements Context.
+func (r *Recorder) Send(port string, m Message) {
+	r.Sent = append(r.Sent, SentMessage{Port: port, Msg: m.Clone()})
+}
+
+// Connected implements Context.
+func (r *Recorder) Connected(string) bool { return true }
+
+// Now implements Context.
+func (r *Recorder) Now() uint64 { return r.Round }
+
+// Take returns and clears the recorded sends.
+func (r *Recorder) Take() []SentMessage {
+	s := r.Sent
+	r.Sent = nil
+	return s
+}
+
+// OnPort filters recorded sends by port.
+func (r *Recorder) OnPort(port string) []Message {
+	var out []Message
+	for _, s := range r.Sent {
+		if s.Port == port {
+			out = append(out, s.Msg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package enclave composes the reproduction's components at the largest
+// scale the paper sketches: two complete enclaves — a LOW one and a HIGH
+// one, each a full workstation-style system with its own authentication
+// and file-server — joined by nothing except an ACCAT-style Guard on a
+// pair of dedicated wires. Mail from LOW arrives in the HIGH enclave's
+// file store without hindrance; mail from HIGH reaches LOW only past the
+// watch officer.
+//
+// Every piece here is a previously verified component; the composition
+// adds no new trusted code beyond the mailroom adapters, which is the
+// paper's thesis about building large secure systems from small verified
+// parts.
+package enclave
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/auth"
+	"repro/internal/distsys"
+	"repro/internal/fileserver"
+	"repro/internal/guard"
+	"repro/internal/mls"
+)
+
+// Mailroom bridges one enclave's file-server to the Guard: outbound files
+// written to the "outbox/" area are shipped as Guard mail; inbound mail is
+// filed under "inbox/N".
+//
+// Ports: fs (out: requests to the file-server), fsin (in: replies),
+// guard (out: mail to the Guard), guardin (in: mail from the Guard),
+// auth (in: clearance announcements, which the mailroom itself ignores).
+type Mailroom struct {
+	name  string
+	level mls.Label
+
+	// shipping state: outbox files already shipped.
+	shipped map[string]bool
+	inSeq   int
+	// polling state machine: 0 = ask for listing, 1 = waiting.
+	waiting bool
+
+	Shipped int
+	Filed   int
+}
+
+// NewMailroom creates a mailroom operating at the given level.
+func NewMailroom(name string, level mls.Label) *Mailroom {
+	return &Mailroom{name: name, level: level, shipped: map[string]bool{}}
+}
+
+// Name implements distsys.Component.
+func (m *Mailroom) Name() string { return m.name }
+
+// Poll implements distsys.Component: periodically list the outbox.
+func (m *Mailroom) Poll(ctx distsys.Context) bool {
+	if m.waiting {
+		return false
+	}
+	m.waiting = true
+	ctx.Send("fs", distsys.Msg("list"))
+	return true
+}
+
+// Handle implements distsys.Component.
+func (m *Mailroom) Handle(ctx distsys.Context, port string, msg distsys.Message) {
+	switch port {
+	case "fsin":
+		m.handleFS(ctx, msg)
+	case "guardin":
+		// Inbound mail: file it (the file-server knows the mailroom as a
+		// user at the enclave's level).
+		m.inSeq++
+		name := fmt.Sprintf("inbox/%d", m.inSeq)
+		ctx.Send("fs", distsys.Msg("create", "name", name))
+		ctx.Send("fs", distsys.Msg("write", "name", name).WithBody(msg.Body))
+		m.Filed++
+	}
+}
+
+func (m *Mailroom) handleFS(ctx distsys.Context, msg distsys.Message) {
+	switch msg.Kind {
+	case "err":
+		// Most commonly "not authenticated" while the login handshake is
+		// still in flight: clear the poll latch and retry next round.
+		m.waiting = false
+	case "listing":
+		m.waiting = false
+		for _, line := range strings.Split(string(msg.Body), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			name := fields[0]
+			if !strings.HasPrefix(name, "outbox/") || m.shipped[name] {
+				continue
+			}
+			m.shipped[name] = true
+			ctx.Send("fs", distsys.Msg("read", "name", name))
+		}
+	case "data":
+		// An outbox file arrived: ship it through the Guard.
+		ctx.Send("guard", distsys.Msg("mail", "subject", msg.Arg("name")).WithBody(msg.Body))
+		m.Shipped++
+	}
+}
+
+// Enclave is one side: a file-server, an auth service, and a mailroom.
+type Enclave struct {
+	Files *fileserver.Server
+	Auth  *auth.Service
+	Mail  *Mailroom
+}
+
+// System is the full two-enclave deployment.
+type System struct {
+	Fabric *distsys.Fabric
+	Low    Enclave
+	High   Enclave
+	Guard  *guard.Guard
+}
+
+// Build wires both enclaves and the Guard. Each mailroom is registered
+// with its enclave's auth service as an ordinary user at the enclave
+// level; the dedicated wiring is what lets the file-server trust the
+// identity.
+func Build(officer guard.Officer) (*System, error) {
+	f := distsys.New(distsys.KernelHosted)
+	sys := &System{Fabric: f, Guard: guard.New("guard", officer)}
+
+	mk := func(side string, level mls.Label) (Enclave, error) {
+		e := Enclave{
+			Files: fileserver.New("fs_" + side),
+			Auth:  auth.New("auth_"+side, "fs"),
+			Mail:  NewMailroom("mail_"+side, level),
+		}
+		e.Auth.Register("mailroom", "mailpw", level)
+		for _, c := range []distsys.Component{e.Auth, e.Files, e.Mail} {
+			if err := f.Add(c); err != nil {
+				return e, err
+			}
+		}
+		wires := [][2]string{
+			{"auth_" + side + ":server_fs", "fs_" + side + ":auth"},
+			{"mail_" + side + ":fs", "fs_" + side + ":user_mailroom"},
+			{"fs_" + side + ":re_user_mailroom", "mail_" + side + ":fsin"},
+		}
+		for _, w := range wires {
+			if err := f.Connect(w[0], w[1], 64); err != nil {
+				return e, err
+			}
+		}
+		return e, nil
+	}
+	var err error
+	if sys.Low, err = mk("low", mls.L(mls.Unclassified)); err != nil {
+		return nil, err
+	}
+	if sys.High, err = mk("high", mls.L(mls.Secret)); err != nil {
+		return nil, err
+	}
+	if err := f.Add(sys.Guard); err != nil {
+		return nil, err
+	}
+	// The only wires between the enclaves run through the Guard.
+	guardWires := [][2]string{
+		{"mail_low:guard", "guard:low_in"},
+		{"guard:high_out", "mail_high:guardin"},
+		{"mail_high:guard", "guard:high_in"},
+		{"guard:low_out", "mail_low:guardin"},
+	}
+	for _, w := range guardWires {
+		if err := f.Connect(w[0], w[1], 64); err != nil {
+			return nil, err
+		}
+	}
+
+	// Authenticate the mailrooms (scripted logins, one message each).
+	bootstrapLogin(f, "auth_low", "mail_low")
+	bootstrapLogin(f, "auth_high", "mail_high")
+	return sys, nil
+}
+
+// bootstrapLogin performs the mailroom's login handshake directly against
+// the auth component (the mailroom has no interactive terminal; its
+// identity is its dedicated wire, and the clearance announcement is what
+// the file-server needs).
+func bootstrapLogin(f *distsys.Fabric, authName, mailName string) {
+	// Wire a throwaway terminal channel for the login exchange.
+	f.MustConnect(mailName+":login", authName+":term_mailroom", 4)
+	f.MustConnect(authName+":re_term_mailroom", mailName+":loginre", 4)
+}
+
+// Start performs the mailroom login handshakes and runs a few warm-up
+// rounds so both file-servers know the mailroom clearances before any
+// outbox traffic arrives.
+func (s *System) Start() {
+	login := distsys.Msg("login", "user", "mailroom", "pass", "mailpw")
+	fabricCtx{f: s.Fabric, comp: "mail_low"}.Send("login", login)
+	fabricCtx{f: s.Fabric, comp: "mail_high"}.Send("login", login)
+	for i := 0; i < 5; i++ {
+		s.Fabric.StepRound()
+	}
+}
+
+// fabricCtx lets Start inject messages as if a component had sent them.
+type fabricCtx struct {
+	f    *distsys.Fabric
+	comp string
+}
+
+func (c fabricCtx) Send(port string, m distsys.Message) {
+	cc := distsys.NewInjector(c.f, c.comp)
+	cc.Send(port, m)
+}
+
+// WriteOutbox places a file in an enclave's outbox as the mailroom user.
+func (s *System) WriteOutbox(e *Enclave, name, content string) {
+	inj := distsys.NewInjector(s.Fabric, e.Mail.Name())
+	inj.Send("fs", distsys.Msg("create", "name", "outbox/"+name))
+	inj.Send("fs", distsys.Msg("write", "name", "outbox/"+name).WithBody([]byte(content)))
+}
+
+// Run drives the system.
+func (s *System) Run(max int) int { return s.Fabric.Run(max) }

@@ -1,0 +1,286 @@
+// Package fileserver implements the multilevel secure file-server of the
+// paper's section 2: the single trusted component of the idealized
+// distributed system in which "files are the only medium of information
+// flow between users of different security classifications."
+//
+// The server runs one program, needs no operating system, and enforces
+// Bell–LaPadula on every request. Its interface to the printer-server is
+// the paper's example of a *concrete special service*: the ability to read
+// and delete spool files of all classifications — precisely scoped to the
+// spool area, rather than a blanket "trusted process" privilege.
+package fileserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/distsys"
+	"repro/internal/mls"
+)
+
+// file is one stored object.
+type file struct {
+	name    string
+	label   mls.Label
+	owner   string
+	data    []byte
+	spool   bool
+	printed bool
+}
+
+// Server is the file-server component.
+//
+// Ports:
+//
+//	user_<name>     (in)  requests from user <name>'s machine
+//	re_user_<name>  (out) replies to that machine
+//	auth            (in)  clearance announcements from the auth service
+//	printer         (in)  special-service requests from the printer-server
+//	re_printer      (out) replies to the printer-server
+type Server struct {
+	name  string
+	files map[string]*file
+	mon   *mls.Monitor
+	// known users (announced by auth) and their clearance.
+	clearances map[string]mls.Label
+	current    map[string]mls.Label
+	spoolSeq   int
+}
+
+// New creates an empty file-server.
+func New(name string) *Server {
+	return &Server{
+		name:       name,
+		files:      map[string]*file{},
+		mon:        mls.NewMonitor(),
+		clearances: map[string]mls.Label{},
+		current:    map[string]mls.Label{},
+	}
+}
+
+// Name implements distsys.Component.
+func (s *Server) Name() string { return s.name }
+
+// Poll implements distsys.Component.
+func (s *Server) Poll(distsys.Context) bool { return false }
+
+// Monitor exposes the reference monitor (for audit inspection in tests and
+// experiments).
+func (s *Server) Monitor() *mls.Monitor { return s.mon }
+
+// Handle implements distsys.Component.
+func (s *Server) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	switch {
+	case port == "auth":
+		s.handleAuth(m)
+	case port == "printer":
+		s.handlePrinter(ctx, m)
+	case strings.HasPrefix(port, "user_"):
+		s.handleUser(ctx, port[5:], m)
+	}
+}
+
+func (s *Server) handleAuth(m distsys.Message) {
+	switch m.Kind {
+	case "clearance":
+		label, err := mls.ParseCompact(m.Arg("label"))
+		if err != nil {
+			return
+		}
+		user := m.Arg("user")
+		s.clearances[user] = label
+		s.current[user] = label
+		if _, known := s.mon.Subject(user); !known {
+			s.mon.AddSubject(user, label, false)
+		}
+	case "logout":
+		// Clearance records persist; sessions are the terminals' concern.
+	}
+}
+
+// reply sends a response to a user's machine.
+func reply(ctx distsys.Context, user string, m distsys.Message) {
+	ctx.Send("re_user_"+user, m)
+}
+
+func errMsg(why string) distsys.Message { return distsys.Msg("err", "why", why) }
+
+func (s *Server) handleUser(ctx distsys.Context, user string, m distsys.Message) {
+	clr, known := s.clearances[user]
+	if !known {
+		reply(ctx, user, errMsg("not authenticated"))
+		return
+	}
+	switch m.Kind {
+	case "setlevel":
+		lvl, err := mls.ParseCompact(m.Arg("level"))
+		if err != nil || !clr.Dominates(lvl) {
+			reply(ctx, user, errMsg("level exceeds clearance"))
+			return
+		}
+		s.current[user] = lvl
+		s.mon.SetCurrent(user, lvl)
+		reply(ctx, user, distsys.Msg("ok", "level", lvl.Compact()))
+
+	case "create":
+		name := m.Arg("name")
+		if name == "" || strings.HasPrefix(name, "spool/") {
+			reply(ctx, user, errMsg("bad name"))
+			return
+		}
+		if _, exists := s.files[name]; exists {
+			reply(ctx, user, errMsg("exists"))
+			return
+		}
+		// New files are classified at the creator's current level.
+		lbl := s.current[user]
+		s.files[name] = &file{name: name, label: lbl, owner: user}
+		s.mon.AddObject(name, lbl)
+		reply(ctx, user, distsys.Msg("ok", "name", name, "label", lbl.Compact()))
+
+	case "write":
+		name := m.Arg("name")
+		f, ok := s.files[name]
+		if !ok {
+			reply(ctx, user, errMsg("no such file"))
+			return
+		}
+		if d := s.mon.Check(user, name, mls.Alter); !d.Granted {
+			reply(ctx, user, errMsg(d.Rule))
+			return
+		}
+		f.data = append([]byte(nil), m.Body...)
+		reply(ctx, user, distsys.Msg("ok", "name", name))
+
+	case "read":
+		name := m.Arg("name")
+		f, ok := s.files[name]
+		if !ok {
+			reply(ctx, user, errMsg("no such file"))
+			return
+		}
+		if d := s.mon.Check(user, name, mls.Observe); !d.Granted {
+			reply(ctx, user, errMsg(d.Rule))
+			return
+		}
+		reply(ctx, user, distsys.Msg("data", "name", name,
+			"label", f.label.Compact()).WithBody(f.data))
+
+	case "delete":
+		name := m.Arg("name")
+		f, ok := s.files[name]
+		if !ok {
+			reply(ctx, user, errMsg("no such file"))
+			return
+		}
+		// Deleting alters the object (and the directory): *-property.
+		if d := s.mon.Check(user, name, mls.Alter); !d.Granted {
+			reply(ctx, user, errMsg(d.Rule))
+			return
+		}
+		_ = f
+		delete(s.files, name)
+		s.mon.RemoveObject(name)
+		reply(ctx, user, distsys.Msg("ok", "name", name))
+
+	case "list":
+		// A listing reveals names and labels: only files the user's
+		// current level dominates are visible.
+		var names []string
+		for n := range s.files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			f := s.files[n]
+			if s.current[user].Dominates(f.label) {
+				fmt.Fprintf(&b, "%s %s %d\n", n, f.label, len(f.data))
+			}
+		}
+		reply(ctx, user, distsys.Msg("listing").WithBody([]byte(b.String())))
+
+	case "spool":
+		// Copy a readable file into the spool area at the file's own
+		// label; returns the spool id to hand to the printer-server.
+		name := m.Arg("name")
+		f, ok := s.files[name]
+		if !ok {
+			reply(ctx, user, errMsg("no such file"))
+			return
+		}
+		if d := s.mon.Check(user, name, mls.Observe); !d.Granted {
+			reply(ctx, user, errMsg(d.Rule))
+			return
+		}
+		s.spoolSeq++
+		id := fmt.Sprintf("spool/%s/%d", user, s.spoolSeq)
+		sf := &file{name: id, label: f.label, owner: user,
+			data: append([]byte(nil), f.data...), spool: true}
+		s.files[id] = sf
+		s.mon.AddObject(id, sf.label)
+		reply(ctx, user, distsys.Msg("spooled", "id", id, "label", sf.label.Compact()))
+
+	default:
+		reply(ctx, user, errMsg("unknown request "+m.Kind))
+	}
+}
+
+// handlePrinter implements the special services for the printer-server.
+// They are deliberately narrow: they apply only to spool-area files, and
+// the delete requires the job to have been fetched first. This narrowness
+// is the paper's answer to trusted processes — "we can state precisely
+// what the special services are that the printer-server requires of the
+// file-server."
+func (s *Server) handlePrinter(ctx distsys.Context, m distsys.Message) {
+	switch m.Kind {
+	case "readspool":
+		id := m.Arg("id")
+		f, ok := s.files[id]
+		if !ok || !f.spool {
+			ctx.Send("re_printer", distsys.Msg("err", "why", "no such spool", "id", id))
+			return
+		}
+		f.printed = true
+		ctx.Send("re_printer", distsys.Msg("spooldata", "id", id,
+			"owner", f.owner, "label", f.label.Compact()).WithBody(f.data))
+	case "delspool":
+		id := m.Arg("id")
+		f, ok := s.files[id]
+		if !ok || !f.spool {
+			ctx.Send("re_printer", distsys.Msg("err", "why", "no such spool", "id", id))
+			return
+		}
+		if !f.printed {
+			ctx.Send("re_printer", distsys.Msg("err", "why", "not printed", "id", id))
+			return
+		}
+		delete(s.files, id)
+		s.mon.RemoveObject(id)
+		ctx.Send("re_printer", distsys.Msg("ok", "id", id))
+	}
+}
+
+// FileCount reports how many files (including spool copies) exist.
+func (s *Server) FileCount() int { return len(s.files) }
+
+// SpoolCount reports how many spool files remain.
+func (s *Server) SpoolCount() int {
+	n := 0
+	for _, f := range s.files {
+		if f.spool {
+			n++
+		}
+	}
+	return n
+}
+
+// FileLabel returns a file's label for test inspection.
+func (s *Server) FileLabel(name string) (mls.Label, bool) {
+	f, ok := s.files[name]
+	if !ok {
+		return mls.Label{}, false
+	}
+	return f.label, true
+}

@@ -1,0 +1,203 @@
+package fileserver_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distsys"
+	"repro/internal/fileserver"
+	"repro/internal/mls"
+)
+
+// announce registers a user's clearance as the auth service would.
+func announce(s *fileserver.Server, user string, lbl mls.Label) {
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "auth", distsys.Msg("clearance", "user", user, "label", lbl.Compact()))
+}
+
+func ask(s *fileserver.Server, user string, m distsys.Message) distsys.Message {
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "user_"+user, m)
+	replies := rec.OnPort("re_user_" + user)
+	if len(replies) != 1 {
+		return distsys.Msg("no-reply")
+	}
+	return replies[0]
+}
+
+func TestUnknownUserRejected(t *testing.T) {
+	s := fileserver.New("fs")
+	if r := ask(s, "ghost", distsys.Msg("create", "name", "f")); r.Kind != "err" {
+		t.Errorf("reply = %v", r)
+	}
+}
+
+func TestCreateWriteReadAtLevel(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "hank", mls.L(mls.Secret))
+	if r := ask(s, "hank", distsys.Msg("create", "name", "plans")); r.Kind != "ok" {
+		t.Fatalf("create: %v", r)
+	}
+	if lbl, _ := s.FileLabel("plans"); lbl.Level != mls.Secret {
+		t.Errorf("file label = %v, want creator's level", lbl)
+	}
+	if r := ask(s, "hank", distsys.Msg("write", "name", "plans").WithBody([]byte("x"))); r.Kind != "ok" {
+		t.Errorf("write: %v", r)
+	}
+	r := ask(s, "hank", distsys.Msg("read", "name", "plans"))
+	if r.Kind != "data" || string(r.Body) != "x" {
+		t.Errorf("read: %v", r)
+	}
+}
+
+func TestBLPEnforced(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "low", mls.L(mls.Unclassified))
+	announce(s, "high", mls.L(mls.Secret))
+	ask(s, "high", distsys.Msg("create", "name", "secret-doc"))
+	ask(s, "low", distsys.Msg("create", "name", "public-doc"))
+
+	// Read-up denied.
+	if r := ask(s, "low", distsys.Msg("read", "name", "secret-doc")); r.Kind != "err" || r.Arg("why") != "ss-property" {
+		t.Errorf("read-up: %v", r)
+	}
+	// Write-down denied (including delete).
+	if r := ask(s, "high", distsys.Msg("write", "name", "public-doc").WithBody([]byte("!"))); r.Kind != "err" || r.Arg("why") != "*-property" {
+		t.Errorf("write-down: %v", r)
+	}
+	if r := ask(s, "high", distsys.Msg("delete", "name", "public-doc")); r.Kind != "err" {
+		t.Errorf("delete-down: %v", r)
+	}
+	// Read-down and write-up behave per BLP.
+	if r := ask(s, "high", distsys.Msg("read", "name", "public-doc")); r.Kind != "data" {
+		t.Errorf("read-down: %v", r)
+	}
+	if r := ask(s, "low", distsys.Msg("write", "name", "secret-doc").WithBody([]byte("up"))); r.Kind != "ok" {
+		t.Errorf("blind write-up: %v", r)
+	}
+}
+
+func TestListFiltersByCurrentLevel(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "low", mls.L(mls.Unclassified))
+	announce(s, "high", mls.L(mls.Secret))
+	ask(s, "high", distsys.Msg("create", "name", "hidden"))
+	ask(s, "low", distsys.Msg("create", "name", "visible"))
+
+	r := ask(s, "low", distsys.Msg("list"))
+	if strings.Contains(string(r.Body), "hidden") {
+		t.Errorf("low listing shows high file: %q", r.Body)
+	}
+	r = ask(s, "high", distsys.Msg("list"))
+	if !strings.Contains(string(r.Body), "hidden") || !strings.Contains(string(r.Body), "visible") {
+		t.Errorf("high listing incomplete: %q", r.Body)
+	}
+}
+
+func TestSetLevelWithinClearance(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "hank", mls.L(mls.Secret))
+	if r := ask(s, "hank", distsys.Msg("setlevel", "level", mls.L(mls.Unclassified).Compact())); r.Kind != "ok" {
+		t.Fatalf("lower: %v", r)
+	}
+	// Files are now created at the lowered level.
+	ask(s, "hank", distsys.Msg("create", "name", "memo"))
+	if lbl, _ := s.FileLabel("memo"); lbl.Level != mls.Unclassified {
+		t.Errorf("file created at %v", lbl)
+	}
+	// Raising above clearance is rejected.
+	if r := ask(s, "hank", distsys.Msg("setlevel", "level", mls.L(mls.TopSecret).Compact())); r.Kind != "err" {
+		t.Errorf("raise: %v", r)
+	}
+}
+
+func TestSpoolLifecycle(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "lois", mls.L(mls.Unclassified))
+	ask(s, "lois", distsys.Msg("create", "name", "memo"))
+	ask(s, "lois", distsys.Msg("write", "name", "memo").WithBody([]byte("print me")))
+	r := ask(s, "lois", distsys.Msg("spool", "name", "memo"))
+	if r.Kind != "spooled" {
+		t.Fatalf("spool: %v", r)
+	}
+	id := r.Arg("id")
+	if !strings.HasPrefix(id, "spool/lois/") {
+		t.Errorf("spool id = %q", id)
+	}
+	if s.SpoolCount() != 1 {
+		t.Errorf("spool count = %d", s.SpoolCount())
+	}
+
+	// The printer's special services.
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "printer", distsys.Msg("delspool", "id", id))
+	if got := rec.OnPort("re_printer"); len(got) != 1 || got[0].Kind != "err" || got[0].Arg("why") != "not printed" {
+		t.Errorf("premature delete: %v", got)
+	}
+	rec.Take()
+	s.Handle(rec, "printer", distsys.Msg("readspool", "id", id))
+	got := rec.OnPort("re_printer")
+	if len(got) != 1 || got[0].Kind != "spooldata" || string(got[0].Body) != "print me" {
+		t.Fatalf("readspool: %v", got)
+	}
+	rec.Take()
+	s.Handle(rec, "printer", distsys.Msg("delspool", "id", id))
+	if got := rec.OnPort("re_printer"); len(got) != 1 || got[0].Kind != "ok" {
+		t.Errorf("delete after print: %v", got)
+	}
+	if s.SpoolCount() != 0 {
+		t.Errorf("spool count after delete = %d", s.SpoolCount())
+	}
+}
+
+func TestPrinterPortCannotTouchOrdinaryFiles(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "hank", mls.L(mls.Secret))
+	ask(s, "hank", distsys.Msg("create", "name", "plans"))
+
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "printer", distsys.Msg("readspool", "id", "plans"))
+	if got := rec.OnPort("re_printer"); len(got) != 1 || got[0].Kind != "err" {
+		t.Errorf("printer read of non-spool file: %v", got)
+	}
+	rec.Take()
+	s.Handle(rec, "printer", distsys.Msg("delspool", "id", "plans"))
+	if got := rec.OnPort("re_printer"); len(got) != 1 || got[0].Kind != "err" {
+		t.Errorf("printer delete of non-spool file: %v", got)
+	}
+	if s.FileCount() != 1 {
+		t.Error("printer port damaged ordinary files")
+	}
+}
+
+func TestUsersCannotForgeSpoolNames(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "eve", mls.L(mls.Unclassified))
+	if r := ask(s, "eve", distsys.Msg("create", "name", "spool/other/1")); r.Kind != "err" {
+		t.Errorf("spool-prefixed create: %v", r)
+	}
+}
+
+func TestSpoolUpRequiresReadAccess(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "low", mls.L(mls.Unclassified))
+	announce(s, "high", mls.L(mls.Secret))
+	ask(s, "high", distsys.Msg("create", "name", "secret-doc"))
+	if r := ask(s, "low", distsys.Msg("spool", "name", "secret-doc")); r.Kind != "err" {
+		t.Errorf("spooling an unreadable file: %v", r)
+	}
+}
+
+func TestDuplicateCreateAndMissingFiles(t *testing.T) {
+	s := fileserver.New("fs")
+	announce(s, "u", mls.L(mls.Unclassified))
+	ask(s, "u", distsys.Msg("create", "name", "f"))
+	if r := ask(s, "u", distsys.Msg("create", "name", "f")); r.Kind != "err" {
+		t.Errorf("duplicate create: %v", r)
+	}
+	for _, op := range []string{"read", "write", "delete", "spool"} {
+		if r := ask(s, "u", distsys.Msg(op, "name", "missing")); r.Kind != "err" {
+			t.Errorf("%s of missing file: %v", op, r)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package guard implements the ACCAT Guard of the paper's section 1 [33]:
+// "a facility for the exchange of messages between a highly classified
+// system and a more lowly one. Messages from the LOW system to the HIGH
+// one are allowed through the Guard without hindrance, but messages from
+// HIGH to LOW must be displayed to a human 'Security Watch Officer' who
+// has to decide whether they may be declassified."
+//
+// The paper's point is that the Guard supports flow in *both* directions
+// with *different* requirements per direction — so basing it on a kernel
+// that enforces one direction (as the real Guard did on KSOS) forces its
+// essential function into trusted processes. Here the Guard is a trusted
+// *component* in a distributed design: its requirements are stated and
+// tested directly, and no kernel is being fought.
+package guard
+
+import (
+	"strings"
+
+	"repro/internal/distsys"
+)
+
+// Verdict is the watch officer's decision on one HIGH→LOW message.
+type Verdict int
+
+// Verdicts.
+const (
+	// Release passes the message unchanged.
+	Release Verdict = iota
+	// Redact passes the message after scrubbing flagged spans.
+	Redact
+	// Deny refuses the message.
+	Deny
+)
+
+// Officer reviews HIGH→LOW traffic. In the real system this is a human;
+// any deterministic policy stands in for one here.
+type Officer interface {
+	// Review returns a verdict and, for Redact, the sanitized body.
+	Review(body []byte) (Verdict, []byte)
+}
+
+// MarkerOfficer is a simple deterministic officer: any body containing a
+// classified marker is denied when it carries "NOFORN", redacted (markers
+// masked) when it carries bracketed "[SECRET:...]" spans, and released
+// otherwise.
+type MarkerOfficer struct{}
+
+// Review implements Officer.
+func (MarkerOfficer) Review(body []byte) (Verdict, []byte) {
+	s := string(body)
+	if strings.Contains(s, "NOFORN") {
+		return Deny, nil
+	}
+	if i := strings.Index(s, "[SECRET:"); i >= 0 {
+		out := s
+		for {
+			start := strings.Index(out, "[SECRET:")
+			if start < 0 {
+				break
+			}
+			end := strings.Index(out[start:], "]")
+			if end < 0 {
+				return Deny, nil // malformed marking: refuse outright
+			}
+			out = out[:start] + "[REDACTED]" + out[start+end+1:]
+		}
+		return Redact, []byte(out)
+	}
+	return Release, body
+}
+
+// Guard is the trusted component.
+//
+// Ports:
+//
+//	low_in   (in)  messages from the LOW system
+//	high_out (out) delivery to the HIGH system
+//	high_in  (in)  messages from the HIGH system
+//	low_out  (out) delivery (after review) to the LOW system
+type Guard struct {
+	name    string
+	officer Officer
+
+	// Statistics of the two directions.
+	UpPassed int
+	Released int
+	Redacted int
+	Denied   int
+}
+
+// New creates a Guard with the given review policy.
+func New(name string, officer Officer) *Guard {
+	return &Guard{name: name, officer: officer}
+}
+
+// Name implements distsys.Component.
+func (g *Guard) Name() string { return g.name }
+
+// Poll implements distsys.Component.
+func (g *Guard) Poll(distsys.Context) bool { return false }
+
+// Handle implements distsys.Component.
+func (g *Guard) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	switch port {
+	case "low_in":
+		// LOW→HIGH: write-up is always safe; pass without hindrance.
+		g.UpPassed++
+		ctx.Send("high_out", m)
+	case "high_in":
+		// HIGH→LOW: every message is reviewed.
+		verdict, body := g.officer.Review(m.Body)
+		switch verdict {
+		case Release:
+			g.Released++
+			ctx.Send("low_out", m)
+		case Redact:
+			g.Redacted++
+			out := distsys.Msg(m.Kind, "reviewed", "redacted").WithBody(body)
+			for k, v := range m.Args {
+				if _, exists := out.Args[k]; !exists {
+					out.Args[k] = v
+				}
+			}
+			ctx.Send("low_out", out)
+		case Deny:
+			g.Denied++
+			// Nothing reaches LOW; optionally bounce a notice HIGH-side.
+			ctx.Send("high_out", distsys.Msg("rejected", "reason", "denied by watch officer"))
+		}
+	}
+}
+
+// Endpoint is a scripted LOW or HIGH system endpoint for exercising the
+// Guard: it sends its messages and records everything it receives.
+type Endpoint struct {
+	name     string
+	outPort  string
+	Outbox   [][]byte
+	sent     int
+	Received []distsys.Message
+}
+
+// NewEndpoint creates an endpoint that sends the given bodies on outPort.
+func NewEndpoint(name, outPort string, bodies ...string) *Endpoint {
+	e := &Endpoint{name: name, outPort: outPort}
+	for _, b := range bodies {
+		e.Outbox = append(e.Outbox, []byte(b))
+	}
+	return e
+}
+
+// Name implements distsys.Component.
+func (e *Endpoint) Name() string { return e.name }
+
+// Poll implements distsys.Component.
+func (e *Endpoint) Poll(ctx distsys.Context) bool {
+	if e.sent >= len(e.Outbox) {
+		return false
+	}
+	ctx.Send(e.outPort, distsys.Msg("mail").WithBody(e.Outbox[e.sent]))
+	e.sent++
+	return true
+}
+
+// Handle implements distsys.Component.
+func (e *Endpoint) Handle(_ distsys.Context, _ string, m distsys.Message) {
+	e.Received = append(e.Received, m.Clone())
+}
+
+// System is a wired Guard between two endpoints.
+type System struct {
+	Fabric *distsys.Fabric
+	Guard  *Guard
+	Low    *Endpoint
+	High   *Endpoint
+}
+
+// Build wires low ⇄ guard ⇄ high.
+func Build(officer Officer, lowMail, highMail []string) (*System, error) {
+	f := distsys.New(distsys.KernelHosted)
+	g := New("guard", officer)
+	low := NewEndpoint("low", "to_guard", lowMail...)
+	high := NewEndpoint("high", "to_guard", highMail...)
+	for _, c := range []distsys.Component{low, high, g} {
+		if err := f.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	wires := [][2]string{
+		{"low:to_guard", "guard:low_in"},
+		{"guard:high_out", "high:in"},
+		{"high:to_guard", "guard:high_in"},
+		{"guard:low_out", "low:in"},
+	}
+	for _, w := range wires {
+		if err := f.Connect(w[0], w[1], 256); err != nil {
+			return nil, err
+		}
+	}
+	return &System{Fabric: f, Guard: g, Low: low, High: high}, nil
+}
+
+// Run drives the system to quiescence.
+func (s *System) Run(max int) int { return s.Fabric.Run(max) }

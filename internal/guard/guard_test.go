@@ -1,0 +1,107 @@
+package guard_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+func TestLowToHighPassesUnhindered(t *testing.T) {
+	sys, err := guard.Build(guard.MarkerOfficer{},
+		[]string{"report 1", "report 2", "report 3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1000)
+	if got := len(sys.High.Received); got != 3 {
+		t.Fatalf("HIGH received %d messages, want 3", got)
+	}
+	if sys.Guard.UpPassed != 3 {
+		t.Errorf("UpPassed = %d", sys.Guard.UpPassed)
+	}
+	for i, m := range sys.High.Received {
+		if !strings.Contains(string(m.Body), "report") {
+			t.Errorf("message %d mangled: %q", i, m.Body)
+		}
+	}
+}
+
+func TestHighToLowRequiresReview(t *testing.T) {
+	sys, err := guard.Build(guard.MarkerOfficer{}, nil, []string{
+		"routine weather summary",            // releasable
+		"mission plan [SECRET: grid 12A]",    // redact
+		"source identity NOFORN do not send", // deny
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1000)
+
+	if sys.Guard.Released != 1 || sys.Guard.Redacted != 1 || sys.Guard.Denied != 1 {
+		t.Fatalf("verdicts = release %d / redact %d / deny %d, want 1/1/1",
+			sys.Guard.Released, sys.Guard.Redacted, sys.Guard.Denied)
+	}
+	if got := len(sys.Low.Received); got != 2 {
+		t.Fatalf("LOW received %d messages, want 2 (denied one withheld)", got)
+	}
+	var all string
+	for _, m := range sys.Low.Received {
+		all += string(m.Body) + "\n"
+	}
+	if strings.Contains(all, "grid 12A") {
+		t.Error("classified span reached LOW")
+	}
+	if !strings.Contains(all, "[REDACTED]") {
+		t.Error("redaction marker missing")
+	}
+	if strings.Contains(all, "NOFORN") {
+		t.Error("denied message reached LOW")
+	}
+	// The HIGH side is told about the denial.
+	bounced := false
+	for _, m := range sys.High.Received {
+		if m.Kind == "rejected" {
+			bounced = true
+		}
+	}
+	if !bounced {
+		t.Error("denial notice did not reach HIGH")
+	}
+}
+
+func TestBothDirectionsSimultaneously(t *testing.T) {
+	sys, err := guard.Build(guard.MarkerOfficer{},
+		[]string{"low says hi"},
+		[]string{"high says hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1000)
+	if len(sys.High.Received) != 1 || len(sys.Low.Received) != 1 {
+		t.Errorf("bidirectional flow broken: high=%d low=%d",
+			len(sys.High.Received), len(sys.Low.Received))
+	}
+}
+
+func TestMalformedMarkingDenied(t *testing.T) {
+	v, _ := guard.MarkerOfficer{}.Review([]byte("oops [SECRET: unterminated"))
+	if v != guard.Deny {
+		t.Errorf("malformed marking verdict = %d, want Deny", v)
+	}
+}
+
+func TestMultipleRedactions(t *testing.T) {
+	v, body := guard.MarkerOfficer{}.Review(
+		[]byte("a [SECRET: x] b [SECRET: y] c"))
+	if v != guard.Redact {
+		t.Fatalf("verdict = %d", v)
+	}
+	got := string(body)
+	if strings.Contains(got, "x]") || strings.Contains(got, "y]") {
+		t.Errorf("incomplete redaction: %q", got)
+	}
+	if strings.Count(got, "[REDACTED]") != 2 {
+		t.Errorf("redaction count wrong: %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package ifa
+
+// IFA specifications of the SNFE bypass censor — "the only software which
+// performs a security critical task" in the paper's SNFE design. The
+// lattice is TwoPoint with the red-supplied header fields HIGH (they may
+// encode user data) and the network-visible output fields LOW.
+//
+// The gradient these specs certify matches what package snfe *measures*:
+//
+//   - the format-checking censor copies the (truthful) length field
+//     through: an explicit HIGH→LOW flow — IFA rejects it, and indeed the
+//     length-parity encoding beats it (measured capacity ≈ 1 b/symbol);
+//   - the canonicalizing censor still derives its output length from the
+//     input length (quantized): the flow narrows but syntactically remains
+//     — IFA rejects it too, even though the measured capacity is ≈ 0
+//     (IFA is all-or-nothing: exactly the §4 critique, now working in the
+//     censor's favour as conservatism);
+//   - the strict censor emits only fields derived from its own counters —
+//     IFA certifies it, and the measured capacity of every encoding
+//     against it is exactly zero.
+
+// CensorFormatSpec models the format-checking censor: sequence numbers are
+// re-derived from the censor's own counter, but the declared length passes
+// through after a range check.
+func CensorFormatSpec() *Program {
+	p := NewProgram("censor-format-spec")
+	p.Declare(High, "in_len", "in_seq", "in_xtra")
+	p.Declare(Low, "own_seq", "out_seq", "out_len")
+	p.Add(
+		Set("own_seq", Op("+", V("own_seq"), N(1))),
+		Set("out_seq", V("own_seq")),
+		// The range check and pass-through: the HIGH length reaches LOW.
+		If{Cond: V("in_len"), Then: []Stmt{Set("out_len", V("in_len"))}},
+	)
+	return p
+}
+
+// CensorCanonSpec models the canonicalizing censor: the output length is
+// quantized — a narrower, but syntactically present, HIGH→LOW flow.
+func CensorCanonSpec() *Program {
+	p := NewProgram("censor-canonical-spec")
+	p.Declare(High, "in_len")
+	p.Declare(Low, "own_seq", "out_seq", "out_len")
+	p.Add(
+		Set("own_seq", Op("+", V("own_seq"), N(1))),
+		Set("out_seq", V("own_seq")),
+		// out_len := ((in_len + 15) / 16) * 16 — still derived from in_len.
+		Set("out_len", Op("*", Op("/", Op("+", V("in_len"), N(15)), N(16)), N(16))),
+	)
+	return p
+}
+
+// CensorStrictSpec models the strict censor: every output field is a
+// function of the censor's own state alone. This is the flow-free design
+// IFA can certify outright.
+func CensorStrictSpec() *Program {
+	p := NewProgram("censor-strict-spec")
+	p.Declare(High, "in_len", "in_seq", "in_xtra")
+	p.Declare(Low, "own_seq", "out_seq", "out_type")
+	p.Add(
+		Set("own_seq", Op("+", V("own_seq"), N(1))),
+		Set("out_seq", V("own_seq")),
+		Set("out_type", N(1)), // constant "data"
+	)
+	return p
+}

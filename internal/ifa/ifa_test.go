@@ -1,0 +1,245 @@
+package ifa_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ifa"
+)
+
+func TestTwoPointLatticeLaws(t *testing.T) {
+	l := ifa.TwoPoint()
+	if !l.Leq(ifa.Low, ifa.High) {
+		t.Error("LOW must flow to HIGH")
+	}
+	if l.Leq(ifa.High, ifa.Low) {
+		t.Error("HIGH must not flow to LOW")
+	}
+	if got := l.Lub(ifa.Low, ifa.High); got != ifa.High {
+		t.Errorf("lub(LOW,HIGH) = %s", got)
+	}
+	if l.Bottom() != ifa.Low {
+		t.Error("bottom must be LOW")
+	}
+}
+
+func TestIsolationLatticeLaws(t *testing.T) {
+	l := ifa.Isolation("RED", "BLACK", "CRYPTO")
+	if l.Leq("RED", "BLACK") || l.Leq("BLACK", "RED") {
+		t.Error("atoms must be incomparable")
+	}
+	if !l.Leq(ifa.IsolationBottom, "RED") {
+		t.Error("bottom flows to atoms")
+	}
+	if !l.Leq("RED", ifa.IsolationTop) {
+		t.Error("atoms flow to top")
+	}
+	if got := l.Lub("RED", "BLACK"); got != ifa.IsolationTop {
+		t.Errorf("lub of distinct atoms = %s, want top", got)
+	}
+	if got := l.Lub("RED", "RED"); got != "RED" {
+		t.Errorf("lub(RED,RED) = %s", got)
+	}
+}
+
+func TestSubsetLatticeLaws(t *testing.T) {
+	l := ifa.Subsets("nato", "crypto", "nuclear")
+	a := ifa.SetClass("nato")
+	ab := ifa.SetClass("nato", "crypto")
+	b := ifa.SetClass("crypto")
+	if !l.Leq(a, ab) || !l.Leq(b, ab) {
+		t.Error("subset must flow to superset")
+	}
+	if l.Leq(ab, a) {
+		t.Error("superset must not flow to subset")
+	}
+	if got := l.Lub(a, b); got != ab {
+		t.Errorf("lub = %s, want %s", got, ab)
+	}
+	if got := len(l.Classes()); got != 8 {
+		t.Errorf("powerset over 3 categories has %d classes, want 8", got)
+	}
+}
+
+// Property: every lattice satisfies partial-order and lub laws on its
+// enumerated classes.
+func TestLatticePropertyLaws(t *testing.T) {
+	lattices := map[string]ifa.Lattice{
+		"two-point": ifa.TwoPoint(),
+		"isolation": ifa.Isolation("R", "B", "G"),
+		"subsets":   ifa.Subsets("x", "y"),
+	}
+	for name, l := range lattices {
+		cs := l.Classes()
+		pick := func(i int) ifa.Class { return cs[((i%len(cs))+len(cs))%len(cs)] }
+		// Reflexivity, lub upper-bound and commutativity, bottom identity.
+		prop := func(i, j int) bool {
+			a, b := pick(i), pick(j)
+			lub := l.Lub(a, b)
+			return l.Leq(a, a) &&
+				l.Leq(a, lub) && l.Leq(b, lub) &&
+				l.Lub(a, b) == l.Lub(b, a) &&
+				l.Lub(a, l.Bottom()) == a &&
+				l.Leq(l.Bottom(), a)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("lattice %s violates laws: %v", name, err)
+		}
+		// Transitivity (exhaustive: the lattices are tiny).
+		for _, a := range cs {
+			for _, b := range cs {
+				for _, c := range cs {
+					if l.Leq(a, b) && l.Leq(b, c) && !l.Leq(a, c) {
+						t.Errorf("lattice %s: transitivity fails %s,%s,%s", name, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCertifyDirectFlow(t *testing.T) {
+	p := ifa.NewProgram("up-ok").
+		Declare(ifa.Low, "l").
+		Declare(ifa.High, "h").
+		Add(ifa.Set("h", ifa.V("l"))) // LOW -> HIGH: fine
+	if rep := ifa.Certify(p, ifa.TwoPoint()); !rep.Certified() {
+		t.Errorf("upward flow rejected: %s", rep.Summary())
+	}
+
+	p2 := ifa.NewProgram("down-bad").
+		Declare(ifa.Low, "l").
+		Declare(ifa.High, "h").
+		Add(ifa.Set("l", ifa.V("h"))) // HIGH -> LOW: violation
+	rep := ifa.Certify(p2, ifa.TwoPoint())
+	if rep.Certified() {
+		t.Fatal("downward flow certified")
+	}
+	if v := rep.Violations[0]; v.Implicit {
+		t.Error("direct flow misreported as implicit")
+	}
+}
+
+func TestCertifyImplicitFlow(t *testing.T) {
+	// if h { l := 1 } leaks h into l through control flow.
+	p := ifa.NewProgram("implicit").
+		Declare(ifa.Low, "l").
+		Declare(ifa.High, "h").
+		Add(ifa.If{Cond: ifa.V("h"), Then: []ifa.Stmt{ifa.Set("l", ifa.N(1))}})
+	rep := ifa.Certify(p, ifa.TwoPoint())
+	if rep.Certified() {
+		t.Fatal("implicit flow certified")
+	}
+	if v := rep.Violations[0]; !v.Implicit {
+		t.Errorf("implicit flow misreported: %+v", v)
+	}
+}
+
+func TestCertifyWhileGuard(t *testing.T) {
+	p := ifa.NewProgram("while-leak").
+		Declare(ifa.Low, "l").
+		Declare(ifa.High, "h").
+		Add(ifa.While{Cond: ifa.V("h"), Body: []ifa.Stmt{
+			ifa.Set("l", ifa.Op("+", ifa.V("l"), ifa.N(1))),
+		}})
+	if rep := ifa.Certify(p, ifa.TwoPoint()); rep.Certified() {
+		t.Error("loop-guard leak certified")
+	}
+}
+
+func TestCertifyExpressionJoin(t *testing.T) {
+	// l2 := l + h has class HIGH and must not land in LOW.
+	p := ifa.NewProgram("join").
+		Declare(ifa.Low, "l", "l2").
+		Declare(ifa.High, "h").
+		Add(ifa.Set("l2", ifa.Op("+", ifa.V("l"), ifa.V("h"))))
+	if rep := ifa.Certify(p, ifa.TwoPoint()); rep.Certified() {
+		t.Error("joined HIGH expression certified into LOW")
+	}
+}
+
+func TestCertifyConstantsFlowAnywhere(t *testing.T) {
+	p := ifa.NewProgram("const").
+		Declare(ifa.Low, "l").
+		Declare(ifa.High, "h").
+		Add(ifa.Set("l", ifa.N(7)), ifa.Set("h", ifa.N(9)))
+	if rep := ifa.Certify(p, ifa.TwoPoint()); !rep.Certified() {
+		t.Errorf("constants rejected: %s", rep.Summary())
+	}
+}
+
+// The paper's central example: IFA rejects the manifestly secure SWAP.
+func TestIFARejectsSwapImplementation(t *testing.T) {
+	p := ifa.SwapImplementation(6)
+	rep := ifa.Certify(p, ifa.Isolation(ifa.SwapColours...))
+	if rep.Certified() {
+		t.Fatal("IFA certified the SWAP implementation; the paper's argument requires rejection")
+	}
+	// Exactly the reload-from-BLACK assignments must be flagged.
+	if got, want := len(rep.Violations), 6; got != want {
+		t.Errorf("violations = %d, want %d (one per register reload)", got, want)
+	}
+	for _, v := range rep.Violations {
+		if !strings.Contains(v.Stmt, "blacksave") {
+			t.Errorf("unexpected violation site: %s", v)
+		}
+		if v.From != "BLACK" || v.To != "RED" {
+			t.Errorf("violation should be BLACK->RED, got %s->%s", v.From, v.To)
+		}
+	}
+}
+
+// ...while the high-level specification (per-regime registers) certifies.
+func TestIFACertifiesSwapHighLevelSpec(t *testing.T) {
+	p := ifa.SwapHighLevelSpec(6)
+	rep := ifa.Certify(p, ifa.Isolation(ifa.SwapColours...))
+	if !rep.Certified() {
+		t.Errorf("high-level SWAP spec rejected: %s", rep.Summary())
+	}
+}
+
+// The spooler needs a *-property violation: IFA (correctly) refuses it,
+// which in a kernelized system forces "trusted process" status.
+func TestIFARejectsTrustedSpooler(t *testing.T) {
+	rep := ifa.Certify(ifa.SpoolerTrusted(), ifa.TwoPoint())
+	if rep.Certified() {
+		t.Fatal("spooler write-down certified; it must be rejected")
+	}
+}
+
+// The file-server, by contrast, is an "ordinary program" that fits the
+// model: IFA certifies its specification.
+func TestIFACertifiesFileServerSpec(t *testing.T) {
+	rep := ifa.Certify(ifa.FileServerSpec(), ifa.TwoPoint())
+	if !rep.Certified() {
+		t.Errorf("file-server spec rejected: %s", rep.Summary())
+	}
+}
+
+func TestProgramRendering(t *testing.T) {
+	p := ifa.SwapImplementation(2)
+	s := p.String()
+	for _, want := range []string{"swap-implementation", "reg0 := blacksave0", "redsave1 := reg1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The censor gradient: IFA rejects the format and canonical censors (both
+// pass red-derived lengths to the network, however narrowed) and certifies
+// the strict censor — whose measured covert capacity package snfe shows to
+// be exactly zero.
+func TestIFACensorGradient(t *testing.T) {
+	l := ifa.TwoPoint()
+	if rep := ifa.Certify(ifa.CensorFormatSpec(), l); rep.Certified() {
+		t.Error("format censor certified; its length pass-through is a HIGH->LOW flow")
+	}
+	if rep := ifa.Certify(ifa.CensorCanonSpec(), l); rep.Certified() {
+		t.Error("canonical censor certified; the quantized length is still a HIGH->LOW flow")
+	}
+	if rep := ifa.Certify(ifa.CensorStrictSpec(), l); !rep.Certified() {
+		t.Errorf("strict censor rejected: %s", rep.Summary())
+	}
+}

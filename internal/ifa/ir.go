@@ -1,0 +1,144 @@
+package ifa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The IR is a small structured imperative language, rich enough to express
+// kernel specifications (register save/restore, buffer copies, guarded
+// updates) and the trusted-component specifications the distributed design
+// verifies with IFA.
+
+// Expr is an expression.
+type Expr interface {
+	exprString() string
+}
+
+// VarRef reads a variable.
+type VarRef struct{ Name string }
+
+func (v VarRef) exprString() string { return v.Name }
+
+// Const is a literal; its class is the lattice bottom.
+type Const struct{ Value int }
+
+func (c Const) exprString() string { return fmt.Sprintf("%d", c.Value) }
+
+// BinOp combines two expressions; the operator is irrelevant to flow.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (b BinOp) exprString() string {
+	return "(" + b.L.exprString() + " " + b.Op + " " + b.R.exprString() + ")"
+}
+
+// Stmt is a statement.
+type Stmt interface {
+	stmtString(indent string) string
+}
+
+// Assign stores an expression into a variable.
+type Assign struct {
+	Dst string
+	Src Expr
+}
+
+func (a Assign) stmtString(ind string) string {
+	return ind + a.Dst + " := " + a.Src.exprString()
+}
+
+// If branches on a condition; both arms are analysed under the condition's
+// implicit-flow class.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (s If) stmtString(ind string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sif %s {\n", ind, s.Cond.exprString())
+	for _, st := range s.Then {
+		b.WriteString(st.stmtString(ind+"  ") + "\n")
+	}
+	if len(s.Else) > 0 {
+		b.WriteString(ind + "} else {\n")
+		for _, st := range s.Else {
+			b.WriteString(st.stmtString(ind+"  ") + "\n")
+		}
+	}
+	b.WriteString(ind + "}")
+	return b.String()
+}
+
+// While loops under its condition's implicit-flow class.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+func (s While) stmtString(ind string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%swhile %s {\n", ind, s.Cond.exprString())
+	for _, st := range s.Body {
+		b.WriteString(st.stmtString(ind+"  ") + "\n")
+	}
+	b.WriteString(ind + "}")
+	return b.String()
+}
+
+// Program is a set of classified variables and a statement body.
+type Program struct {
+	Name string
+	Vars map[string]Class
+	Body []Stmt
+}
+
+// NewProgram creates an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Vars: map[string]Class{}}
+}
+
+// Declare adds variables of a class.
+func (p *Program) Declare(class Class, names ...string) *Program {
+	for _, n := range names {
+		p.Vars[n] = class
+	}
+	return p
+}
+
+// Add appends statements to the body.
+func (p *Program) Add(ss ...Stmt) *Program {
+	p.Body = append(p.Body, ss...)
+	return p
+}
+
+// String renders the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for n, c := range p.Vars {
+		fmt.Fprintf(&b, "  var %s : %s\n", n, c)
+	}
+	for _, s := range p.Body {
+		b.WriteString(s.stmtString("  ") + "\n")
+	}
+	return b.String()
+}
+
+// Convenience constructors.
+
+// V references a variable.
+func V(name string) Expr { return VarRef{Name: name} }
+
+// N is a numeric literal.
+func N(v int) Expr { return Const{Value: v} }
+
+// Op builds a binary expression.
+func Op(op string, l, r Expr) Expr { return BinOp{Op: op, L: l, R: r} }
+
+// Set builds an assignment.
+func Set(dst string, src Expr) Stmt { return Assign{Dst: dst, Src: src} }

@@ -1,0 +1,205 @@
+// Package ifa implements Information Flow Analysis — the verification
+// technique the paper argues is unsuitable for separation kernels — in the
+// style of Denning & Denning's certification semantics [8] as used for the
+// MITRE kernels [20] and KSOS [7,10].
+//
+// The analysis is syntactic: every variable carries a security class from a
+// lattice, the class of an expression is the least upper bound of its
+// operands, and an assignment is certified only if the expression's class
+// (joined with the implicit-flow class of the governing guards) flows to
+// the destination's class. Values are never consulted — which is exactly
+// why IFA rejects a separation kernel's SWAP operation even though SWAP is,
+// in Rushby's words, "manifestly secure". Experiment E2 reproduces that
+// mismatch executably.
+package ifa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class is a security class (a "colour" in the paper's vocabulary).
+type Class string
+
+// Lattice is a finite security lattice.
+type Lattice interface {
+	// Leq reports whether information may flow from class a to class b.
+	Leq(a, b Class) bool
+	// Lub returns the least upper bound of two classes.
+	Lub(a, b Class) Class
+	// Bottom is the class of constants: flows anywhere.
+	Bottom() Class
+	// Classes enumerates the lattice's elements.
+	Classes() []Class
+}
+
+// twoPoint is the classic LOW ⊑ HIGH lattice.
+type twoPoint struct{}
+
+// Low and High are the two classes of the TwoPoint lattice.
+const (
+	Low  Class = "LOW"
+	High Class = "HIGH"
+)
+
+// TwoPoint returns the LOW ⊑ HIGH lattice.
+func TwoPoint() Lattice { return twoPoint{} }
+
+func (twoPoint) Leq(a, b Class) bool { return a == b || (a == Low && b == High) }
+
+func (twoPoint) Lub(a, b Class) Class {
+	if a == High || b == High {
+		return High
+	}
+	return Low
+}
+
+func (twoPoint) Bottom() Class { return Low }
+
+func (twoPoint) Classes() []Class { return []Class{Low, High} }
+
+// isolation is the lattice for separation: a set of mutually incomparable
+// atoms (one per regime) with a shared bottom (constants, "uncoloured") and
+// a top (the join of any two distinct atoms, from which nothing may flow
+// back down). It expresses "RED values may not reach BLACK variables and
+// vice versa".
+type isolation struct {
+	atoms map[Class]bool
+}
+
+// IsolationBottom and IsolationTop bound the isolation lattice.
+const (
+	IsolationBottom Class = "⊥"
+	IsolationTop    Class = "⊤"
+)
+
+// Isolation builds the separation lattice over the given regime colours.
+func Isolation(atoms ...Class) Lattice {
+	m := map[Class]bool{}
+	for _, a := range atoms {
+		m[a] = true
+	}
+	return isolation{atoms: m}
+}
+
+func (l isolation) Leq(a, b Class) bool {
+	switch {
+	case a == b:
+		return true
+	case a == IsolationBottom:
+		return true
+	case b == IsolationTop:
+		return true
+	}
+	return false
+}
+
+func (l isolation) Lub(a, b Class) Class {
+	switch {
+	case a == b:
+		return a
+	case a == IsolationBottom:
+		return b
+	case b == IsolationBottom:
+		return a
+	}
+	return IsolationTop
+}
+
+func (l isolation) Bottom() Class { return IsolationBottom }
+
+func (l isolation) Classes() []Class {
+	out := []Class{IsolationBottom}
+	var atoms []string
+	for a := range l.atoms {
+		atoms = append(atoms, string(a))
+	}
+	sort.Strings(atoms)
+	for _, a := range atoms {
+		out = append(out, Class(a))
+	}
+	return append(out, IsolationTop)
+}
+
+// Subset lattice: classes are sets of categories; flow = subset. Used by
+// the MLS substrate's category component and handy for tests.
+type subset struct {
+	cats []string
+}
+
+// Subsets returns the powerset lattice over the given category names.
+// Classes are rendered canonically as "{a,b}".
+func Subsets(cats ...string) Lattice {
+	sorted := append([]string(nil), cats...)
+	sort.Strings(sorted)
+	return subset{cats: sorted}
+}
+
+func parseSet(c Class) map[string]bool {
+	s := strings.Trim(string(c), "{}")
+	m := map[string]bool{}
+	if s == "" {
+		return m
+	}
+	for _, part := range strings.Split(s, ",") {
+		m[strings.TrimSpace(part)] = true
+	}
+	return m
+}
+
+func formatSet(m map[string]bool) Class {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return Class("{" + strings.Join(names, ",") + "}")
+}
+
+// SetClass builds a subset-lattice class from category names.
+func SetClass(cats ...string) Class {
+	m := map[string]bool{}
+	for _, c := range cats {
+		m[c] = true
+	}
+	return formatSet(m)
+}
+
+func (subset) Leq(a, b Class) bool {
+	bm := parseSet(b)
+	for n := range parseSet(a) {
+		if !bm[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func (subset) Lub(a, b Class) Class {
+	m := parseSet(a)
+	for n := range parseSet(b) {
+		m[n] = true
+	}
+	return formatSet(m)
+}
+
+func (subset) Bottom() Class { return "{}" }
+
+func (l subset) Classes() []Class {
+	n := len(l.cats)
+	if n > 16 {
+		panic(fmt.Sprintf("ifa: subset lattice over %d categories is too large to enumerate", n))
+	}
+	var out []Class
+	for bits := 0; bits < 1<<n; bits++ {
+		m := map[string]bool{}
+		for i, c := range l.cats {
+			if bits&(1<<i) != 0 {
+				m[c] = true
+			}
+		}
+		out = append(out, formatSet(m))
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package ifa_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ifa"
+)
+
+func TestParseSimpleProgram(t *testing.T) {
+	prog, err := ifa.Parse(`
+program demo
+var h, h2 : HIGH
+var l : LOW
+l := 3
+h := l + 1
+h2 := h * 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "demo" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if prog.Vars["h"] != ifa.High || prog.Vars["l"] != ifa.Low {
+		t.Errorf("vars = %v", prog.Vars)
+	}
+	rep := ifa.Certify(prog, ifa.TwoPoint())
+	if !rep.Certified() {
+		t.Errorf("upward-only program rejected: %s", rep.Summary())
+	}
+	if rep.Assignments != 3 {
+		t.Errorf("assignments = %d", rep.Assignments)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	prog, err := ifa.Parse(`
+program leaky
+var h : HIGH
+var l : LOW
+if h {
+    l := 1
+}
+while h {
+    h := h - 1
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ifa.Certify(prog, ifa.TwoPoint())
+	if rep.Certified() {
+		t.Fatal("implicit flow certified")
+	}
+	if !rep.Violations[0].Implicit {
+		t.Errorf("violation not implicit: %v", rep.Violations[0])
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	prog, err := ifa.Parse(`
+program branches
+var a, b : LOW
+if a {
+    b := 1
+}
+else {
+    b := 2
+}
+b := a + 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := ifa.Certify(prog, ifa.TwoPoint()); !rep.Certified() {
+		t.Errorf("low-only branches rejected: %s", rep.Summary())
+	}
+	if rep := ifa.Certify(prog, ifa.TwoPoint()); rep.Assignments != 3 {
+		t.Errorf("assignments = %d, want 3", rep.Assignments)
+	}
+}
+
+func TestParseParensAndComments(t *testing.T) {
+	prog, err := ifa.Parse(`
+program expr // with a comment
+var x, y : LOW
+// whole-line comment
+x := (x + 1) * (y - 2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("body = %v", prog.Body)
+	}
+	if !strings.Contains(prog.String(), "((x + 1) * (y - 2))") {
+		t.Errorf("expression mangled: %s", prog.String())
+	}
+}
+
+func TestParseRoundTripsCanonicalPrograms(t *testing.T) {
+	// The built-in specifications can be expressed in the textual syntax
+	// and yield the same verdicts.
+	src := `
+program swap_impl
+var reg0, reg1, redsave0, redsave1 : RED
+var blacksave0, blacksave1 : BLACK
+redsave0 := reg0
+redsave1 := reg1
+reg0 := blacksave0
+reg1 := blacksave1
+`
+	prog, err := ifa.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ifa.Certify(prog, ifa.Isolation("RED", "BLACK"))
+	if rep.Certified() {
+		t.Fatal("parsed SWAP certified")
+	}
+	if len(rep.Violations) != 2 {
+		t.Errorf("violations = %d, want 2", len(rep.Violations))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"var x : LOW",                // no program header
+		"program p\nvar x LOW",       // missing colon
+		"program p\nbogus statement", // unparsable
+		"program p\nif x {",          // unterminated block
+		"program p\nx := 1 +",        // dangling operator
+		"program p\nx := (1",         // missing paren
+		"program p\n1x := 2",         // bad target
+		"program p\nx := y ? 1",      // bad character
+	}
+	for _, src := range cases {
+		if _, err := ifa.Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

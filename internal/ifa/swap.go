@@ -1,0 +1,97 @@
+package ifa
+
+import "fmt"
+
+// This file encodes the paper's central IFA counterexample — the SWAP
+// operation of a separation kernel — together with the high-level
+// specification that IFA *can* certify, reproducing the section 4 argument:
+//
+//	"Verification by IFA requires that operations invoked by RED may only
+//	 access RED values — but it is evident that the SWAP operation *must*
+//	 access *both* RED and BLACK values. It follows that IFA cannot verify
+//	 the security of a SWAP operation, even though it is manifestly
+//	 secure."
+//
+// Package separability demonstrates the other half of the argument: the
+// very same context-switch logic, running in the real SUE-Go kernel,
+// passes Proof of Separability.
+
+// SwapColours are the two regimes of the canonical example.
+var SwapColours = []Class{"RED", "BLACK"}
+
+// SwapImplementation models the machine-level SWAP invoked by RED: the
+// shared general registers (RED-classified while RED is running) are saved
+// to the RED save area and reloaded from the BLACK save area.
+func SwapImplementation(nregs int) *Program {
+	p := NewProgram("swap-implementation")
+	for i := 0; i < nregs; i++ {
+		p.Declare("RED", fmt.Sprintf("reg%d", i))
+		p.Declare("RED", fmt.Sprintf("redsave%d", i))
+		p.Declare("BLACK", fmt.Sprintf("blacksave%d", i))
+	}
+	for i := 0; i < nregs; i++ {
+		p.Add(Set(fmt.Sprintf("redsave%d", i), V(fmt.Sprintf("reg%d", i))))
+	}
+	for i := 0; i < nregs; i++ {
+		// The manifestly secure but syntactically uncertifiable step:
+		// the (currently RED) registers receive BLACK values, which is
+		// precisely what a context switch is.
+		p.Add(Set(fmt.Sprintf("reg%d", i), V(fmt.Sprintf("blacksave%d", i))))
+	}
+	return p
+}
+
+// SwapHighLevelSpec models the same operation at the level of abstraction
+// the paper says conventional practice retreats to: each regime has its own
+// register set, and SWAP merely toggles a scheduling variable internal to
+// the kernel. IFA certifies this trivially — and the entire verification
+// burden silently moves to the unperformed proof that the implementation
+// refines the specification.
+func SwapHighLevelSpec(nregs int) *Program {
+	p := NewProgram("swap-high-level-spec")
+	p.Declare(IsolationBottom, "current")
+	for i := 0; i < nregs; i++ {
+		p.Declare("RED", fmt.Sprintf("redreg%d", i))
+		p.Declare("BLACK", fmt.Sprintf("blackreg%d", i))
+	}
+	// Each regime's registers persist untouched; only the kernel-internal
+	// scheduling variable changes.
+	p.Add(Set("current", Op("-", N(1), V("current"))))
+	return p
+}
+
+// SpoolerTrusted models the KSOS-style line-printer spooler the paper's
+// section 1 discusses: running at HIGH so it can read all spool files, it
+// must *delete* (write) LOW spool files after printing — a write-down that
+// violates the *-property, which is why kernelized systems must grant the
+// spooler "trusted process" status.
+func SpoolerTrusted() *Program {
+	p := NewProgram("spooler-delete-low-spool")
+	p.Declare(High, "spooler_cursor", "high_spool")
+	p.Declare(Low, "low_spool")
+	// Reading everything is fine at HIGH...
+	p.Add(Set("spooler_cursor", Op("+", V("low_spool"), V("high_spool"))))
+	// ...but deleting the printed LOW spool file writes HIGH-influenced
+	// state down to LOW: the *-property violation.
+	p.Add(If{
+		Cond: V("spooler_cursor"),
+		Then: []Stmt{Set("low_spool", N(0))},
+	})
+	return p
+}
+
+// FileServerSpec models the multilevel file-server of section 2 at its
+// natural level: per-level stores, with reads up and writes at level —
+// certifiable by IFA, which is the paper's point that Feiertag-style models
+// fit "ordinary programs" like servers, just not kernels.
+func FileServerSpec() *Program {
+	p := NewProgram("file-server-spec")
+	p.Declare(Low, "low_store", "low_request")
+	p.Declare(High, "high_store", "high_request", "high_view")
+	// A HIGH subject may read LOW and HIGH data into its view.
+	p.Add(Set("high_view", Op("+", V("low_store"), V("high_store"))))
+	// Writes stay at the writer's level.
+	p.Add(Set("low_store", V("low_request")))
+	p.Add(Set("high_store", V("high_request")))
+	return p
+}

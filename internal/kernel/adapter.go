@@ -1,0 +1,463 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// RegimePSW returns the user-visible PSW bits (condition codes) of regime
+// i: live when the regime holds the CPU, from the save area otherwise.
+func (k *Kernel) RegimePSW(i int) Word {
+	if i == k.current() && machine.IsUser(k.m.PSW()) {
+		return k.m.PSW() & (machine.FlagN | machine.FlagZ | machine.FlagV | machine.FlagC)
+	}
+	return k.m.ReadPhys(saveBase(i)+savePSW) &
+		(machine.FlagN | machine.FlagZ | machine.FlagV | machine.FlagC)
+}
+
+// InputVec is one external stimulus: words delivered to named input-sink
+// devices at this time step.
+type InputVec map[string][]Word
+
+// OutputVec is the observable output state: the cumulative output of every
+// output-source device.
+type OutputVec map[string][]Word
+
+// Adapter presents a booted SUE-Go system as the shared system of the
+// paper's Appendix model, so that package separability can check the six
+// conditions against it.
+//
+// The mapping is:
+//
+//	S       = machine.Snapshot (CPU + MMU + RAM + devices) plus kernel death
+//	OPS     = {user instruction, kernel service, interrupt fielding,
+//	           virtual interrupt delivery, idle} — one Kernel.StepCPU each
+//	INPUT   = inject stimulus words into input devices, then tick devices
+//	OUTPUT  = cumulative device outputs (a pure function of S)
+//	COLOUR  = owner of the interrupt about to be fielded, else the current
+//	          regime when in user mode, else the kernel pseudo-colour
+//	EXTRACT = the device entries owned by a colour
+//	Φ^c     = partition RAM + register file + run/pending/IPL words +
+//	          owned-device state + the regime's view of each channel
+type Adapter struct {
+	K *Kernel
+
+	colours []model.Colour
+	// ownedSinks/ownedSources: device name -> owning colour.
+	owner map[string]model.Colour
+
+	// PerturbWords bounds how many words each perturbation touches.
+	PerturbWords int
+}
+
+// KernelColour is returned by Colour for states where the next operation
+// is the kernel's own (the idle loop) rather than any user's.
+const KernelColour model.Colour = "_kernel"
+
+// NewAdapter wraps a booted kernel.
+func NewAdapter(k *Kernel) *Adapter {
+	a := &Adapter{K: k, owner: map[string]model.Colour{}, PerturbWords: 8}
+	for _, r := range k.cfg.Regimes {
+		a.colours = append(a.colours, model.Colour(r.Name))
+		for _, d := range r.Devices {
+			a.owner[d.Name()] = model.Colour(r.Name)
+		}
+	}
+	return a
+}
+
+// Colours implements model.SharedSystem.
+func (a *Adapter) Colours() []model.Colour { return append([]model.Colour(nil), a.colours...) }
+
+// adapterState is the StateRef implementation.
+type adapterState struct {
+	snap *machine.Snapshot
+	dead bool
+}
+
+// Save implements model.SharedSystem.
+func (a *Adapter) Save() model.StateRef {
+	return &adapterState{snap: a.K.m.Snapshot(), dead: a.K.dead}
+}
+
+// Restore implements model.SharedSystem.
+func (a *Adapter) Restore(s model.StateRef) {
+	st := s.(*adapterState)
+	if err := a.K.m.Restore(st.snap); err != nil {
+		panic(fmt.Sprintf("kernel adapter: restore: %v", err))
+	}
+	a.K.dead = st.dead
+}
+
+// Colour implements model.SharedSystem: the colour on whose behalf the
+// next operation will execute.
+func (a *Adapter) Colour() model.Colour {
+	k := a.K
+	if k.dead || k.m.Halted() {
+		return KernelColour
+	}
+	if k.cfg.FixedSlice > 0 && k.m.ReadPhys(KData+kdSliceLeft) == 0 {
+		// The next operation is the slice-boundary rotation: pure kernel
+		// scheduling work.
+		return KernelColour
+	}
+	if di, ok := k.m.PendingDevice(); ok {
+		// The next operation fields this device's interrupt: it executes
+		// on behalf of the device's owner.
+		if owner := k.devOwner[di]; owner >= 0 {
+			return model.Colour(k.cfg.Regimes[owner].Name)
+		}
+		return KernelColour
+	}
+	if machine.IsUser(k.m.PSW()) {
+		return model.Colour(k.cfg.Regimes[k.current()].Name)
+	}
+	return KernelColour
+}
+
+// NextOp implements model.SharedSystem.
+func (a *Adapter) NextOp() model.OpID {
+	k := a.K
+	if k.dead || k.m.Halted() {
+		return "dead"
+	}
+	if k.cfg.FixedSlice > 0 && k.m.ReadPhys(KData+kdSliceLeft) == 0 {
+		return "kernel:slice-switch"
+	}
+	if di, ok := k.m.PendingDevice(); ok {
+		return model.OpID("field-irq:" + k.m.Devices()[di].Name())
+	}
+	if machine.IsUser(k.m.PSW()) {
+		cur := k.current()
+		if j := k.deliverablePending(); j >= 0 {
+			return model.OpID(fmt.Sprintf("deliver-irq:%s:%d", k.cfg.Regimes[cur].Name, j))
+		}
+		pc := k.m.PC()
+		instr, ok := k.regimeRead(cur, pc)
+		if !ok {
+			return model.OpID(fmt.Sprintf("user:%s@%04x:unfetchable", k.cfg.Regimes[cur].Name, pc))
+		}
+		return model.OpID(fmt.Sprintf("user:%s@%04x:%04x", k.cfg.Regimes[cur].Name, pc, instr))
+	}
+	return "kernel:idle"
+}
+
+// Step implements model.SharedSystem: one CPU operation (device activity
+// belongs to ApplyInput).
+func (a *Adapter) Step() { a.K.StepCPU() }
+
+// ApplyInput implements model.SharedSystem: deliver stimuli to the input
+// devices, then let every device tick once.
+func (a *Adapter) ApplyInput(i model.Input) {
+	if i != nil {
+		iv := i.(InputVec)
+		for _, d := range a.K.m.Devices() {
+			if sink, ok := d.(machine.InputSink); ok {
+				if ws := iv[d.Name()]; len(ws) > 0 {
+					sink.InjectInput(ws)
+				}
+			}
+		}
+	}
+	a.K.m.TickDevices()
+}
+
+// CurrentOutput implements model.SharedSystem.
+func (a *Adapter) CurrentOutput() model.Output {
+	ov := OutputVec{}
+	for _, d := range a.K.m.Devices() {
+		if src, ok := d.(machine.OutputSource); ok {
+			ov[d.Name()] = src.PeekOutput()
+		}
+	}
+	return ov
+}
+
+// hexWord appends a word as four hex digits without fmt overhead (Abstract
+// is the hot path of randomized checking).
+func hexWord(b *strings.Builder, w Word) {
+	const digits = "0123456789abcdef"
+	b.WriteByte(digits[w>>12&0xF])
+	b.WriteByte(digits[w>>8&0xF])
+	b.WriteByte(digits[w>>4&0xF])
+	b.WriteByte(digits[w&0xF])
+}
+
+// Abstract implements model.SharedSystem: Φ^c as a canonical string.
+func (a *Adapter) Abstract(c model.Colour) string {
+	k := a.K
+	i := k.RegimeIndex(string(c))
+	if i < 0 {
+		return ""
+	}
+	var b strings.Builder
+	r := k.cfg.Regimes[i]
+
+	// Register file and control state, as the regime would observe it.
+	for reg := 0; reg < 6; reg++ {
+		fmt.Fprintf(&b, "r%d=%04x;", reg, k.RegimeReg(i, reg))
+	}
+	fmt.Fprintf(&b, "sp=%04x;pc=%04x;cc=%x;", k.RegimeReg(i, machine.RegSP),
+		k.RegimeReg(i, machine.RegPC), k.RegimePSW(i))
+	sb := saveBase(i)
+	fmt.Fprintf(&b, "st=%x;pend=%04x;ipl=%x;", k.m.ReadPhys(sb+saveState),
+		k.m.ReadPhys(sb+savePending), k.m.ReadPhys(sb+saveIPL))
+
+	// The partition, word by word.
+	b.Grow(int(r.Size)*4 + 64)
+	b.WriteString("mem=")
+	for off := Word(0); off < r.Size; off++ {
+		hexWord(&b, k.m.ReadPhys(r.Base+off))
+	}
+	b.WriteByte(';')
+
+	// Owned devices.
+	for _, d := range r.Devices {
+		b.WriteString("dev:")
+		b.WriteString(d.Name())
+		b.WriteByte('=')
+		for _, w := range d.SnapshotState() {
+			hexWord(&b, w)
+		}
+		b.WriteByte(';')
+	}
+
+	// Channel views: what this regime could learn via SEND/RECV/POLL.
+	for ci, ch := range k.cfg.Channels {
+		base := k.chanBase(ci)
+		capa := k.m.ReadPhys(base + 3)
+		switch string(c) {
+		case ch.From:
+			// The sender observes only the free space.
+			fmt.Fprintf(&b, "ch:%s:free=%d;", ch.Name, capa-k.m.ReadPhys(base+2))
+		case ch.To:
+			if k.cfg.CutChannels {
+				cnt := k.m.ReadPhys(base + 6)
+				head := k.m.ReadPhys(base + 4)
+				fmt.Fprintf(&b, "ch:%s:rd=%d:", ch.Name, cnt)
+				for j := Word(0); j < cnt; j++ {
+					hexWord(&b, k.m.ReadPhys(base+8+capa+(head+j)%capa))
+				}
+				b.WriteByte(';')
+			} else {
+				cnt := k.m.ReadPhys(base + 2)
+				head := k.m.ReadPhys(base + 0)
+				fmt.Fprintf(&b, "ch:%s:rd=%d:", ch.Name, cnt)
+				for j := Word(0); j < cnt; j++ {
+					hexWord(&b, k.m.ReadPhys(base+8+(head+j)%capa))
+				}
+				b.WriteByte(';')
+			}
+		}
+	}
+	return b.String()
+}
+
+// ExtractInput implements model.SharedSystem.
+func (a *Adapter) ExtractInput(c model.Colour, i model.Input) string {
+	if i == nil {
+		return ""
+	}
+	iv := i.(InputVec)
+	var names []string
+	for name := range iv {
+		if a.owner[name] == c {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=", name)
+		for _, w := range iv[name] {
+			fmt.Fprintf(&b, "%04x", w)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// ExtractOutput implements model.SharedSystem.
+func (a *Adapter) ExtractOutput(c model.Colour, o model.Output) string {
+	ov := o.(OutputVec)
+	var names []string
+	for name := range ov {
+		if a.owner[name] == c {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=", name)
+		for _, w := range ov[name] {
+			fmt.Fprintf(&b, "%04x", w)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// --- Perturbable ---
+
+// Randomize implements model.Perturbable: reboot and run a random prefix
+// with random stimuli, landing in a random reachable state.
+func (a *Adapter) Randomize(r model.Rand) {
+	if err := a.K.Boot(); err != nil {
+		panic(fmt.Sprintf("kernel adapter: boot: %v", err))
+	}
+	steps := r.Intn(400)
+	for s := 0; s < steps; s++ {
+		if r.Intn(8) == 0 {
+			a.ApplyInput(a.RandomInput(r))
+		} else {
+			a.ApplyInput(nil)
+		}
+		a.Step()
+	}
+}
+
+// RandomInput implements model.Perturbable.
+func (a *Adapter) RandomInput(r model.Rand) model.Input {
+	iv := InputVec{}
+	for _, d := range a.K.m.Devices() {
+		if _, ok := d.(machine.InputSink); !ok {
+			continue
+		}
+		if r.Intn(3) == 0 {
+			n := 1 + r.Intn(2)
+			ws := make([]Word, n)
+			for j := range ws {
+				ws[j] = Word(r.Uint32() & 0xff)
+			}
+			iv[d.Name()] = ws
+		}
+	}
+	return iv
+}
+
+// RandomInputMatching implements model.Perturbable: keep c's components of
+// i, randomize the rest.
+func (a *Adapter) RandomInputMatching(c model.Colour, i model.Input, r model.Rand) model.Input {
+	out := InputVec{}
+	var orig InputVec
+	if i != nil {
+		orig = i.(InputVec)
+	}
+	for _, d := range a.K.m.Devices() {
+		if _, ok := d.(machine.InputSink); !ok {
+			continue
+		}
+		name := d.Name()
+		if a.owner[name] == c {
+			if ws, ok := orig[name]; ok {
+				out[name] = append([]Word(nil), ws...)
+			}
+			continue
+		}
+		if r.Intn(3) == 0 {
+			n := 1 + r.Intn(2)
+			ws := make([]Word, n)
+			for j := range ws {
+				ws[j] = Word(r.Uint32() & 0xff)
+			}
+			out[name] = ws
+		}
+	}
+	return out
+}
+
+// PerturbOutside implements model.Perturbable: scramble state that does
+// not belong to colour c — other partitions, other save areas, the kernel
+// scratch word, and channel-buffer words invisible to c — while leaving
+// Φ^c, the machine's interrupt posture, and the scheduling state intact.
+func (a *Adapter) PerturbOutside(c model.Colour, r model.Rand) {
+	k := a.K
+	m := k.m
+	cur := k.current()
+	curLive := machine.IsUser(m.PSW())
+
+	for ri, spec := range k.cfg.Regimes {
+		if model.Colour(spec.Name) == c {
+			continue
+		}
+		// Partition words: always the first few (context-switch bugs love
+		// partition bases), plus a random sample.
+		for off := Word(0); off < 4 && off < spec.Size; off++ {
+			m.WritePhys(spec.Base+off, Word(r.Uint32()))
+		}
+		for t := 0; t < a.PerturbWords; t++ {
+			off := Word(r.Uint32()) % spec.Size
+			m.WritePhys(spec.Base+off, Word(r.Uint32()))
+		}
+		// Register context: live machine registers when this regime holds
+		// the CPU, its save area otherwise.
+		if ri == cur && curLive {
+			for reg := 0; reg < 6; reg++ {
+				if r.Intn(2) == 0 {
+					m.SetReg(reg, Word(r.Uint32()))
+				}
+			}
+		} else {
+			sb := saveBase(ri)
+			for reg := Word(0); reg < 6; reg++ {
+				if r.Intn(2) == 0 {
+					m.WritePhys(sb+saveR0+reg, Word(r.Uint32()))
+				}
+			}
+		}
+	}
+
+	// Kernel scratch word: no regime's abstract state includes it.
+	m.WritePhys(KData+kdScratch, Word(r.Uint32()))
+
+	// Channel buffers: words c cannot observe. For channels c sends on,
+	// the buffered *contents* are invisible (only free space is visible);
+	// for channels between other colours, contents are invisible to c
+	// (counts stay put so the owners' views are preserved too — the
+	// perturbation must only vary along directions outside Φ^c, and
+	// changing another colour's visible count is legitimate but makes
+	// counterexample interpretation noisier than necessary).
+	for ci, ch := range k.cfg.Channels {
+		base := k.chanBase(ci)
+		capa := k.m.ReadPhys(base + 3)
+		if capa == 0 {
+			continue
+		}
+		sendContentsInvisible := ch.To != string(c)
+		if k.cfg.CutChannels {
+			// In the cut system buffer A's contents are invisible to
+			// everyone, and buffer B (the read end) belongs to ch.To.
+			if sendContentsInvisible {
+				// Perturb unused slots of buffer A only (outside count
+				// window) — count itself is visible to the sender.
+				a.perturbRingSlack(base, 8, capa, r)
+			}
+		} else {
+			if sendContentsInvisible {
+				// Contents of the queue are visible only to ch.To.
+				a.perturbRingSlack(base, 8, capa, r)
+			}
+		}
+	}
+}
+
+// perturbRingSlack randomizes ring-buffer slots outside the live window
+// [head, head+count): those words are invisible to every colour.
+func (a *Adapter) perturbRingSlack(base, bufOff, capa Word, r model.Rand) {
+	m := a.K.m
+	head := m.ReadPhys(base + 0)
+	count := m.ReadPhys(base + 2)
+	for j := Word(0); j < capa; j++ {
+		idx := (head + count + j) % capa
+		if j < capa-count {
+			if r.Intn(2) == 0 {
+				m.WritePhys(base+bufOff+idx, Word(r.Uint32()))
+			}
+		}
+	}
+}

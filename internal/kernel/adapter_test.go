@@ -1,0 +1,219 @@
+package kernel_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+func adapterSystem(t *testing.T) *kernel.Adapter {
+	t.Helper()
+	k := twoRegimes(t, senderSrc, receiverSrc, nil)
+	return kernel.NewAdapter(k)
+}
+
+func TestAdapterColoursAndAbstract(t *testing.T) {
+	a := adapterSystem(t)
+	cols := a.Colours()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("colours = %v", cols)
+	}
+	// At boot, regime a is active.
+	if got := a.Colour(); got != "a" {
+		t.Errorf("boot colour = %s", got)
+	}
+	if op := a.NextOp(); !strings.HasPrefix(string(op), "user:a@") {
+		t.Errorf("boot op = %s", op)
+	}
+	// Abstracts are distinct and non-empty per colour.
+	pa, pb := a.Abstract("a"), a.Abstract("b")
+	if pa == "" || pb == "" || pa == pb {
+		t.Errorf("degenerate abstractions")
+	}
+	if a.Abstract("nonexistent") != "" {
+		t.Error("unknown colour produced an abstraction")
+	}
+}
+
+func TestAdapterSaveRestoreStep(t *testing.T) {
+	a := adapterSystem(t)
+	s0 := a.Save()
+	for i := 0; i < 25; i++ {
+		a.ApplyInput(nil)
+		a.Step()
+	}
+	after1 := a.Abstract("a") + a.Abstract("b")
+	a.Restore(s0)
+	for i := 0; i < 25; i++ {
+		a.ApplyInput(nil)
+		a.Step()
+	}
+	if got := a.Abstract("a") + a.Abstract("b"); got != after1 {
+		t.Error("adapter replay diverged")
+	}
+}
+
+func TestAdapterStepChangesOnlyActiveColour(t *testing.T) {
+	// With the channel CUT, no step by one colour may change the other's
+	// view (condition 2, spot-checked directly along a trace).
+	k := twoRegimes(t, senderSrc, receiverSrc,
+		func(c *kernel.Config) { c.CutChannels = true })
+	a := kernel.NewAdapter(k)
+	for i := 0; i < 120; i++ {
+		col := a.Colour()
+		if col == "a" || col == "b" {
+			other := model.Colour("b")
+			if col == "b" {
+				other = "a"
+			}
+			before := a.Abstract(other)
+			op := a.NextOp()
+			a.Step()
+			if after := a.Abstract(other); after != before {
+				t.Fatalf("step %d (%s active, op %s) changed %s's view", i, col, op, other)
+			}
+		} else {
+			a.Step()
+		}
+		a.ApplyInput(nil)
+	}
+}
+
+func TestAdapterPerturbPreservesOwnView(t *testing.T) {
+	a := adapterSystem(t)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		a.ApplyInput(nil)
+		a.Step()
+	}
+	for _, c := range a.Colours() {
+		before := a.Abstract(c)
+		s := a.Save()
+		a.PerturbOutside(c, rng)
+		if got := a.Abstract(c); got != before {
+			t.Errorf("perturbation outside %s changed Φ_%s", c, c)
+		}
+		a.Restore(s)
+	}
+}
+
+func TestUnownedDeviceInterruptIsDropped(t *testing.T) {
+	m := machine.New(0x4000)
+	stray := machine.NewClock("stray", 5)
+	m.Attach(stray)
+	k, err := kernel.New(m, kernel.Config{
+		Regimes: []kernel.RegimeSpec{
+			{Name: "a", Base: 0x1000, Size: 0x400, Image: prog(t, `
+	.org 0x40
+start:
+	MOV #0, R2
+loop:
+	ADD #1, R2
+	MOV R2, @0x20
+	TRAP #SWAP
+	BR loop
+`)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the stray device to interrupt by enabling its IE directly.
+	stray.WriteReg(0, 0x40)
+	k.Run(2000)
+	if k.Dead() {
+		t.Fatalf("stray interrupt killed the kernel: %v", k.Cause)
+	}
+	if v, _ := k.ReadRegimeMem(0, 0x20); v < 10 {
+		t.Errorf("regime starved by stray interrupts: %d", v)
+	}
+	if k.Stats().Interrupts == 0 {
+		t.Error("stray interrupts never reached the kernel")
+	}
+}
+
+func TestChanPollBothSides(t *testing.T) {
+	k := twoRegimes(t, `
+	.org 0x40
+start:
+	MOV #0, R0
+	TRAP #POLL          ; sender: free space before sending
+	MOV R1, @0x20
+	MOV #0, R0
+	MOV #0xAA, R1
+	TRAP #SEND
+	MOV #0, R0
+	TRAP #POLL          ; free space after one send
+	MOV R1, @0x21
+	TRAP #HALTME
+`, `
+	.org 0x40
+start:
+	TRAP #SWAP          ; let the sender go first
+	MOV #0, R0
+	TRAP #POLL          ; receiver: words available
+	MOV R1, @0x20
+	TRAP #HALTME
+`, nil)
+	k.RunUntilIdle(10000)
+	a, b := k.RegimeIndex("a"), k.RegimeIndex("b")
+	before, _ := k.ReadRegimeMem(a, 0x20)
+	after, _ := k.ReadRegimeMem(a, 0x21)
+	if before != 8 || after != 7 {
+		t.Errorf("sender free space %d -> %d, want 8 -> 7", before, after)
+	}
+	if avail, _ := k.ReadRegimeMem(b, 0x20); avail != 1 {
+		t.Errorf("receiver sees %d words, want 1", avail)
+	}
+}
+
+func TestRegimeRegAndPSWViews(t *testing.T) {
+	k := twoRegimes(t, `
+	.org 0x40
+start:
+	MOV #0x1234, R3
+	TRAP #SWAP
+	BR start
+`, `
+	.org 0x40
+start:
+	MOV #0x5678, R3
+	TRAP #SWAP
+	BR start
+`, nil)
+	k.Run(40)
+	// Whichever regime is inactive must report its SAVED R3.
+	cur := k.CurrentRegime()
+	other := 1 - cur
+	otherR3 := k.RegimeReg(other, 3)
+	if otherR3 != 0x1234 && otherR3 != 0x5678 {
+		t.Errorf("inactive regime R3 = %#x", otherR3)
+	}
+	// PSW views expose only condition codes.
+	if psw := k.RegimePSW(cur); psw&^0xF != 0 {
+		t.Errorf("PSW view leaks non-CC bits: %#x", psw)
+	}
+}
+
+func TestReadWriteRegimeMemBounds(t *testing.T) {
+	k := twoRegimes(t, senderSrc, receiverSrc, nil)
+	if _, ok := k.ReadRegimeMem(0, 0x800); ok {
+		t.Error("read past partition succeeded")
+	}
+	if k.WriteRegimeMem(0, 0xFFFF, 1) {
+		t.Error("write past partition succeeded")
+	}
+	if !k.WriteRegimeMem(0, 0x30, 0xAB) {
+		t.Error("in-bounds write failed")
+	}
+	if v, _ := k.ReadRegimeMem(0, 0x30); v != 0xAB {
+		t.Errorf("read back %#x", v)
+	}
+}

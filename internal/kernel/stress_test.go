@@ -1,0 +1,372 @@
+package kernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// TestEightRegimeRing pushes the configuration limit: eight regimes in a
+// ring, each forwarding an incrementing token to its successor. The token
+// must travel the whole ring many times with every hop kernel-mediated.
+func TestEightRegimeRing(t *testing.T) {
+	const n = 8
+	m := machine.New(0xC000)
+	var cfg kernel.Config
+	for i := 0; i < n; i++ {
+		// Regime i receives on channel i and sends on channel (i+1)%n.
+		src := fmt.Sprintf(`
+	.org 0x40
+start:
+	MOV #0, R4
+loop:
+	MOV #%d, R0
+	TRAP #RECV
+	CMP #1, R0
+	BNE yield
+	ADD #1, R1        ; bump the token
+	MOV R1, @0x20     ; remember the last token seen
+	MOV #%d, R0
+	TRAP #SEND
+yield:
+	TRAP #SWAP
+	BR loop
+`, i, (i+1)%n)
+		im, err := asm.Assemble(kernel.Prelude + src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Regimes = append(cfg.Regimes, kernel.RegimeSpec{
+			Name: fmt.Sprintf("r%d", i),
+			Base: machine.Word(0x1000 + i*0x400), Size: 0x400, Image: im,
+		})
+	}
+	for i := 0; i < n; i++ {
+		cfg.Channels = append(cfg.Channels, kernel.ChannelSpec{
+			Name: fmt.Sprintf("c%d", i),
+			From: fmt.Sprintf("r%d", (i+n-1)%n), To: fmt.Sprintf("r%d", i),
+			Capacity: 4,
+		})
+	}
+	k, err := kernel.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the token into channel 0 by having regime 7 send... simplest:
+	// poke the channel buffer via a bootstrap regime? Instead, seed by
+	// injecting directly through regime r7's code path: write the token
+	// into r0's channel with the kernel's own service by simulating: give
+	// r7 an initial send. We cheat minimally: run until everyone idles,
+	// then check nothing moved (no token), then reboot with a seeded
+	// variant below.
+	k.Run(30000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	// Without a seed, nobody sees a token.
+	for i := 0; i < n; i++ {
+		if v, _ := k.ReadRegimeMem(i, 0x20); v != 0 {
+			t.Fatalf("phantom token at regime %d: %d", i, v)
+		}
+	}
+}
+
+// TestEightRegimeRingWithSeed seeds the ring via a ninth... the limit is
+// eight, so regime 0 doubles as the seeder: it sends once before joining
+// the relay.
+func TestEightRegimeRingWithSeed(t *testing.T) {
+	const n = 8
+	m := machine.New(0xC000)
+	var cfg kernel.Config
+	for i := 0; i < n; i++ {
+		var prologue string
+		if i == 0 {
+			prologue = `
+	MOV #1, R0        ; seed: send token 0 on the outgoing channel
+	MOV #0, R1
+	TRAP #SEND
+`
+		}
+		src := fmt.Sprintf(`
+	.org 0x40
+start:
+%s
+loop:
+	MOV #%d, R0
+	TRAP #RECV
+	CMP #1, R0
+	BNE yield
+	ADD #1, R1
+	MOV R1, @0x20
+	MOV #%d, R0
+	TRAP #SEND
+yield:
+	TRAP #SWAP
+	BR loop
+`, prologue, i, (i+1)%n)
+		im, err := asm.Assemble(kernel.Prelude + src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Regimes = append(cfg.Regimes, kernel.RegimeSpec{
+			Name: fmt.Sprintf("r%d", i),
+			Base: machine.Word(0x1000 + i*0x400), Size: 0x400, Image: im,
+		})
+	}
+	for i := 0; i < n; i++ {
+		cfg.Channels = append(cfg.Channels, kernel.ChannelSpec{
+			Name: fmt.Sprintf("c%d", i),
+			From: fmt.Sprintf("r%d", (i+n-1)%n), To: fmt.Sprintf("r%d", i),
+			Capacity: 4,
+		})
+	}
+	k, err := kernel.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(60000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	// The token has circulated: every regime saw a strictly positive,
+	// ring-position-consistent value, and the total hops are substantial.
+	last, _ := k.ReadRegimeMem(0, 0x20)
+	if last < n {
+		t.Errorf("token circulated too little: regime 0 saw %d", last)
+	}
+	for i := 1; i < n; i++ {
+		v, _ := k.ReadRegimeMem(i, 0x20)
+		if v == 0 {
+			t.Errorf("regime %d never saw the token", i)
+		}
+	}
+}
+
+// TestLongRunDeterminismWithDevices is the soak test: a device-rich system
+// run for 200k cycles twice from identical boots must produce bit-identical
+// machine states.
+func TestLongRunDeterminismWithDevices(t *testing.T) {
+	build := func() (*kernel.Kernel, *machine.TTY) {
+		m := machine.New(0x4000)
+		tty := machine.NewTTY("tty0", 3)
+		clk := machine.NewClock("clk", 17)
+		m.Attach(tty)
+		m.Attach(clk)
+		ioSrc := `
+	.org 0x40
+start:
+	MOV #isr, @0x10
+	MOV #tick, @0x12
+	MOV #0x40, @DEV0       ; TTY rx interrupts
+	MOV #0x40, @DEV1       ; clock interrupts
+	TRAP #IRQON
+	MOV #0, R2
+loop:
+	ADD #1, R2
+	MOV R2, @0x20
+	TRAP #SWAP
+	BR loop
+isr:
+	MOV @DEV0+1, R1
+	MOV R1, @DEV0+3
+	RTI
+tick:
+	MOV @0x30, R3
+	ADD #1, R3
+	MOV R3, @0x30
+	MOV #0x41, @DEV1       ; clear pending latch, keep enabled
+	RTI
+`
+		peer := `
+	.org 0x40
+start:
+	MOV #0x7, R5
+loop:
+	MUL #3, R5
+	ADD #1, R5
+	MOV R5, @0x20
+	TRAP #SWAP
+	BR loop
+`
+		im1, err := asm.Assemble(kernel.Prelude + ioSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im2, err := asm.Assemble(kernel.Prelude + peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := kernel.Config{
+			Regimes: []kernel.RegimeSpec{
+				{Name: "io", Base: 0x1000, Size: 0x800, Image: im1,
+					Devices: []machine.Device{tty, clk}},
+				{Name: "peer", Base: 0x2000, Size: 0x800, Image: im2},
+			},
+		}
+		k, err := kernel.New(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		return k, tty
+	}
+
+	run := func() *machine.Snapshot {
+		k, tty := build()
+		for i := 0; i < 200000; i++ {
+			if i%997 == 0 {
+				tty.InjectString("x")
+			}
+			k.Step()
+		}
+		if k.Dead() {
+			t.Fatalf("kernel died: %v", k.Cause)
+		}
+		return k.Machine().Snapshot()
+	}
+	s1 := run()
+	s2 := run()
+	if !s1.Equal(s2) {
+		t.Error("200k-cycle device-rich runs diverged")
+	}
+}
+
+// TestChannelIsolationPairs verifies that with two disjoint channel pairs
+// (a->b, c->d) traffic on one pair never appears on the other.
+func TestChannelIsolationPairs(t *testing.T) {
+	m := machine.New(0x8000)
+	send := func(ch int, base machine.Word) string {
+		return fmt.Sprintf(`
+	.org 0x40
+start:
+	MOV #%#x, R2
+loop:
+	MOV #%d, R0
+	MOV R2, R1
+	TRAP #SEND
+	ADD #1, R2
+	TRAP #SWAP
+	BR loop
+`, base, ch)
+	}
+	recv := func(ch int) string {
+		return fmt.Sprintf(`
+	.org 0x40
+start:
+	MOV #0, R4
+loop:
+	MOV #%d, R0
+	TRAP #RECV
+	CMP #1, R0
+	BNE yield
+	MOV R1, @0x20        ; last value received
+yield:
+	TRAP #SWAP
+	BR loop
+`, ch)
+	}
+	mk := func(src string) *asm.Image {
+		im, err := asm.Assemble(kernel.Prelude + src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return im
+	}
+	cfg := kernel.Config{
+		Regimes: []kernel.RegimeSpec{
+			{Name: "a", Base: 0x1000, Size: 0x400, Image: mk(send(0, 0x1000))},
+			{Name: "b", Base: 0x1400, Size: 0x400, Image: mk(recv(0))},
+			{Name: "c", Base: 0x1800, Size: 0x400, Image: mk(send(1, 0x8000))},
+			{Name: "d", Base: 0x1C00, Size: 0x400, Image: mk(recv(1))},
+		},
+		Channels: []kernel.ChannelSpec{
+			{Name: "ab", From: "a", To: "b", Capacity: 8},
+			{Name: "cd", From: "c", To: "d", Capacity: 8},
+		},
+	}
+	k, err := kernel.New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(50000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	bGot, _ := k.ReadRegimeMem(k.RegimeIndex("b"), 0x20)
+	dGot, _ := k.ReadRegimeMem(k.RegimeIndex("d"), 0x20)
+	// a sends values starting at 0x1000; c at 0x8000. Each receiver must
+	// only ever have seen its own sender's range.
+	if bGot < 0x1000 || bGot >= 0x8000 {
+		t.Errorf("b received %#x, outside a's range", bGot)
+	}
+	if dGot < 0x8000 {
+		t.Errorf("d received %#x, outside c's range", dGot)
+	}
+}
+
+// TestFixedSliceFunctional: channels, faults and completion all behave
+// under fixed-slice scheduling; only the wall-clock shape changes.
+func TestFixedSliceFunctional(t *testing.T) {
+	k := twoRegimes(t, senderSrc, receiverSrc,
+		func(c *kernel.Config) { c.FixedSlice = 100 })
+	k.Run(60000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	sum, _ := k.ReadRegimeMem(k.RegimeIndex("b"), 0x20)
+	if sum != 15 {
+		t.Errorf("fixed-slice run: receiver sum = %d, want 15", sum)
+	}
+}
+
+// TestFixedSlicePreemptsHogs: a regime that never yields cannot starve the
+// others under fixed slices.
+func TestFixedSlicePreemptsHogs(t *testing.T) {
+	hog := `
+	.org 0x40
+start:
+	ADD #1, R2        ; never yields
+	BR start
+`
+	meek := `
+	.org 0x40
+start:
+	MOV #0, R2
+loop:
+	ADD #1, R2
+	MOV R2, @0x20
+	TRAP #SWAP
+	BR loop
+`
+	k := twoRegimes(t, hog, meek,
+		func(c *kernel.Config) { c.FixedSlice = 50 })
+	k.Run(10000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	v, _ := k.ReadRegimeMem(k.RegimeIndex("b"), 0x20)
+	if v < 10 {
+		t.Errorf("meek regime starved under fixed slices: %d iterations", v)
+	}
+	// Without fixed slices the hog starves the meek regime completely.
+	k2 := twoRegimes(t, hog, meek, nil)
+	k2.Run(10000)
+	v2, _ := k2.ReadRegimeMem(k2.RegimeIndex("b"), 0x20)
+	if v2 != 0 {
+		t.Errorf("run-until-SWAP scheduling let the meek regime run (%d)?!", v2)
+	}
+}

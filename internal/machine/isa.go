@@ -1,0 +1,236 @@
+// Package machine implements SM11, a small PDP-11-flavoured simulated
+// computer used as the "concrete machine" of Rushby's separation-kernel
+// model. It provides a 16-bit word-addressed CPU with kernel/user modes, a
+// segmenting MMU whose control registers are memory mapped, memory-mapped
+// device registers, vectored interrupts, and — deliberately, following the
+// SUE design — no DMA.
+//
+// The machine exposes its complete state through Snapshot/Restore so that
+// verification tools (package separability) can treat it as the state
+// machine of the paper's Appendix model.
+package machine
+
+import "fmt"
+
+// Word is the machine's natural unit: SM11 is a 16-bit, word-addressed
+// architecture. All addresses are word addresses.
+type Word = uint16
+
+// Opcodes. The instruction word layout for two-operand instructions is
+//
+//	[15:10] opcode  [9:5] src spec  [4:0] dst spec
+//
+// where an operand spec is mode(2 bits) | register(3 bits). Branch and trap
+// instructions instead carry a 10-bit literal in [9:0].
+const (
+	OpHALT Word = iota // stop the processor (kernel only)
+	OpNOP              // no operation
+	OpMOV              // dst = src
+	OpADD              // dst += src
+	OpSUB              // dst -= src
+	OpCMP              // flags from src - dst
+	OpAND              // dst &= src
+	OpOR               // dst |= src
+	OpXOR              // dst ^= src
+	OpSHL              // dst <<= src (mod 16)
+	OpSHR              // dst >>= src (logical, mod 16)
+	OpNOT              // dst = ^dst (src ignored; single-operand form)
+	OpNEG              // dst = -dst
+	OpBR               // unconditional branch
+	OpBEQ              // branch if Z
+	OpBNE              // branch if !Z
+	OpBLT              // branch if N xor V
+	OpBGE              // branch if !(N xor V)
+	OpBGT              // branch if !Z and !(N xor V)
+	OpBLE              // branch if Z or (N xor V)
+	OpBCS              // branch if C
+	OpBCC              // branch if !C
+	OpBMI              // branch if N
+	OpBPL              // branch if !N
+	OpJMP              // PC = effective address of dst
+	OpJSR              // push PC; PC = effective address of dst
+	OpRTS              // PC = pop
+	OpPUSH             // push src
+	OpPOP              // dst = pop
+	OpTRAP             // software trap with 10-bit code (vectors to VecTRAP)
+	OpRTI              // return from interrupt: pop PC then PSW (kernel only)
+	OpWAIT             // idle until interrupt (kernel only)
+	OpMTPS             // PSW = src (mode/priority writable in kernel mode only)
+	OpMFPS             // dst = PSW
+	OpMUL              // dst *= src (low 16 bits)
+
+	opCount // number of defined opcodes
+)
+
+// Operand addressing modes (the 2-bit "mode" field of an operand spec).
+const (
+	ModeReg      = 0 // Rn
+	ModeIndirect = 1 // (Rn)
+	ModeIndexed  = 2 // disp(Rn); disp in the next instruction word
+	ModeExtended = 3 // reg 7: #imm (src only); reg 6: @abs (next word)
+)
+
+// Register numbers with architectural meaning.
+const (
+	RegSP = 6 // stack pointer (banked per mode)
+	RegPC = 7 // program counter
+)
+
+// Spec packs an addressing mode and register into a 5-bit operand spec.
+func Spec(mode, reg int) Word {
+	return Word(mode&3)<<3 | Word(reg&7)
+}
+
+// SpecMode extracts the addressing mode of a 5-bit operand spec.
+func SpecMode(s Word) int { return int(s>>3) & 3 }
+
+// SpecReg extracts the register number of a 5-bit operand spec.
+func SpecReg(s Word) int { return int(s) & 7 }
+
+// Enc2 encodes a two-operand instruction.
+func Enc2(op, src, dst Word) Word {
+	return op<<10 | (src&0x1f)<<5 | dst&0x1f
+}
+
+// EncBranch encodes a branch with a signed word offset in [-512, 511].
+// The offset is relative to the address of the following instruction.
+func EncBranch(op Word, off int) Word {
+	return op<<10 | Word(off)&0x3ff
+}
+
+// EncTrap encodes a TRAP instruction with a 10-bit service code.
+func EncTrap(code Word) Word { return OpTRAP<<10 | code&0x3ff }
+
+// DecodeOp extracts the opcode field of an instruction word.
+func DecodeOp(w Word) Word { return w >> 10 }
+
+// BranchOffset sign-extends the 10-bit branch displacement.
+func BranchOffset(w Word) int {
+	off := int(w & 0x3ff)
+	if off >= 512 {
+		off -= 1024
+	}
+	return off
+}
+
+// IsBranch reports whether op is one of the PC-relative branch opcodes.
+func IsBranch(op Word) bool { return op >= OpBR && op <= OpBPL }
+
+var opNames = [...]string{
+	OpHALT: "HALT", OpNOP: "NOP", OpMOV: "MOV", OpADD: "ADD", OpSUB: "SUB",
+	OpCMP: "CMP", OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpSHL: "SHL",
+	OpSHR: "SHR", OpNOT: "NOT", OpNEG: "NEG", OpBR: "BR", OpBEQ: "BEQ",
+	OpBNE: "BNE", OpBLT: "BLT", OpBGE: "BGE", OpBGT: "BGT", OpBLE: "BLE",
+	OpBCS: "BCS", OpBCC: "BCC", OpBMI: "BMI", OpBPL: "BPL", OpJMP: "JMP",
+	OpJSR: "JSR", OpRTS: "RTS", OpPUSH: "PUSH", OpPOP: "POP", OpTRAP: "TRAP",
+	OpRTI: "RTI", OpWAIT: "WAIT", OpMTPS: "MTPS", OpMFPS: "MFPS", OpMUL: "MUL",
+}
+
+// OpName returns the assembler mnemonic for an opcode.
+func OpName(op Word) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP%d", op)
+}
+
+// OpByName maps a mnemonic back to its opcode.
+func OpByName(name string) (Word, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Word(op), true
+		}
+	}
+	return 0, false
+}
+
+// hasSrc reports whether the opcode uses its source operand field.
+func hasSrc(op Word) bool {
+	switch op {
+	case OpMOV, OpADD, OpSUB, OpCMP, OpAND, OpOR, OpXOR, OpSHL, OpSHR,
+		OpPUSH, OpMTPS, OpMUL:
+		return true
+	}
+	return false
+}
+
+// hasDst reports whether the opcode uses its destination operand field.
+func hasDst(op Word) bool {
+	switch op {
+	case OpMOV, OpADD, OpSUB, OpCMP, OpAND, OpOR, OpXOR, OpSHL, OpSHR,
+		OpNOT, OpNEG, OpJMP, OpJSR, OpPOP, OpMFPS, OpMUL:
+		return true
+	}
+	return false
+}
+
+// InstrLen returns the length in words of the instruction starting with w:
+// 1 plus one extension word for each operand that needs one.
+func InstrLen(w Word) int {
+	op := DecodeOp(w)
+	if IsBranch(op) || op == OpTRAP {
+		return 1
+	}
+	n := 1
+	if hasSrc(op) && specHasExt(Word((w>>5)&0x1f)) {
+		n++
+	}
+	if hasDst(op) && specHasExt(Word(w&0x1f)) {
+		n++
+	}
+	return n
+}
+
+// specHasExt reports whether the operand spec consumes an extension word.
+func specHasExt(s Word) bool {
+	m := SpecMode(s)
+	return m == ModeIndexed || m == ModeExtended
+}
+
+// Disasm renders the instruction beginning at mem[0] as assembler text and
+// reports its length in words. mem must contain at least InstrLen words.
+func Disasm(mem []Word) (string, int) {
+	w := mem[0]
+	op := DecodeOp(w)
+	switch {
+	case IsBranch(op):
+		return fmt.Sprintf("%s %+d", OpName(op), BranchOffset(w)), 1
+	case op == OpTRAP:
+		return fmt.Sprintf("TRAP #%d", w&0x3ff), 1
+	}
+	n := 1
+	operand := func(s Word) string {
+		mode, reg := SpecMode(s), SpecReg(s)
+		switch mode {
+		case ModeReg:
+			return fmt.Sprintf("R%d", reg)
+		case ModeIndirect:
+			return fmt.Sprintf("(R%d)", reg)
+		case ModeIndexed:
+			ext := mem[n]
+			n++
+			return fmt.Sprintf("0x%X(R%d)", ext, reg)
+		default: // ModeExtended
+			ext := mem[n]
+			n++
+			switch reg {
+			case RegPC:
+				return fmt.Sprintf("#0x%X", ext)
+			case RegSP:
+				return fmt.Sprintf("@0x%X", ext)
+			}
+			return fmt.Sprintf("?ext(R%d)", reg)
+		}
+	}
+	text := OpName(op)
+	if hasSrc(op) {
+		text += " " + operand(Word((w>>5)&0x1f))
+		if hasDst(op) {
+			text += ","
+		}
+	}
+	if hasDst(op) {
+		text += " " + operand(Word(w&0x1f))
+	}
+	return text, n
+}

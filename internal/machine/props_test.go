@@ -1,0 +1,206 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// Property: a machine is a deterministic function of its snapshot — from
+// equal states, equal futures, for random programs.
+func TestStepDeterminismProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machine.New(0x400)
+		// Fill RAM with random words (random "program"): anything the
+		// machine does with it must still be deterministic. Traps vector
+		// into random memory too; plant HALT-safe vectors to bound runs.
+		for a := 0; a < 0x400; a++ {
+			m.WritePhys(machine.Word(a), machine.Word(rng.Uint32()))
+		}
+		m.SetVector(machine.VecIllegal, 0x3FE, machine.WithPriority(0, 7))
+		m.SetVector(machine.VecMMU, 0x3FE, machine.WithPriority(0, 7))
+		m.SetVector(machine.VecTRAP, 0x3FE, machine.WithPriority(0, 7))
+		m.WritePhys(0x3FE, machine.Enc2(machine.OpHALT, 0, 0))
+		m.SetPC(0x100)
+		m.SetReg(machine.RegSP, 0x300)
+
+		start := m.Snapshot()
+		for i := 0; i < 64; i++ {
+			m.Step()
+		}
+		end1 := m.Snapshot()
+		if err := m.Restore(start); err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			m.Step()
+		}
+		return end1.Equal(m.Snapshot())
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot encoding is canonical — equal snapshots encode
+// equally, re-snapshotting after restore is stable.
+func TestSnapshotEncodingCanonical(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machine.New(0x200)
+		tty := machine.NewTTY("t", 1)
+		m.Attach(tty)
+		for a := 0; a < 0x200; a++ {
+			m.WritePhys(machine.Word(a), machine.Word(rng.Uint32()))
+		}
+		tty.InjectString("abc")
+		s1 := m.Snapshot()
+		if err := m.Restore(s1); err != nil {
+			return false
+		}
+		s2 := m.Snapshot()
+		return s1.Equal(s2) && s1.Hash() == s2.Hash()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: condition-code invariants: Z is set iff the MOV'd value is
+// zero; N iff its top bit is set.
+func TestMOVFlagsProperty(t *testing.T) {
+	prop := func(v uint16) bool {
+		m := machine.New(0x200)
+		m.WritePhys(0x100, machine.Enc2(machine.OpMOV,
+			machine.Spec(machine.ModeExtended, machine.RegPC),
+			machine.Spec(machine.ModeReg, 0)))
+		m.WritePhys(0x101, machine.Word(v))
+		m.WritePhys(0x102, machine.Enc2(machine.OpHALT, 0, 0))
+		m.SetPC(0x100)
+		m.Run(5)
+		psw := m.PSW()
+		wantZ := v == 0
+		wantN := v&0x8000 != 0
+		return (psw&machine.FlagZ != 0) == wantZ && (psw&machine.FlagN != 0) == wantN
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ADD then SUB of the same value restores the register and the
+// machine agrees with Go's uint16 arithmetic.
+func TestAddSubInverseProperty(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		m := machine.New(0x200)
+		prog := []machine.Word{
+			machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+			machine.Word(a),
+			machine.Enc2(machine.OpADD, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+			machine.Word(b),
+			machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeReg, 0), machine.Spec(machine.ModeReg, 1)),
+			machine.Enc2(machine.OpSUB, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+			machine.Word(b),
+			machine.Enc2(machine.OpHALT, 0, 0),
+		}
+		m.LoadImage(0x100, prog)
+		m.SetPC(0x100)
+		m.Run(20)
+		return m.Reg(0) == machine.Word(a) && m.Reg(1) == machine.Word(a)+machine.Word(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: user mode can never reach kernel-protected state: for random
+// user programs confined to one segment, the kernel area of RAM is
+// untouched and the machine either keeps running, traps, or idles — it
+// never machine-checks (Fault) and never ends up halted.
+func TestUserModeConfinementProperty(t *testing.T) {
+	real := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machine.New(0x1000)
+		for a := 0; a < 0x400; a++ {
+			m.WritePhys(machine.Word(a), 0xA5A5)
+		}
+		// Vectors: all traps land on a kernel HALT (we stop the run there
+		// and count it as a clean confinement outcome).
+		for _, v := range []machine.Word{machine.VecIllegal, machine.VecMMU, machine.VecTRAP} {
+			m.SetVector(v, 0x3F0, machine.WithPriority(0, 7))
+		}
+		m.WritePhys(0x3F0, machine.Enc2(machine.OpHALT, 0, 0))
+		// Vector words themselves must be intact afterwards, so rewrite
+		// the pattern check region to skip what we legitimately set.
+		// Random user program in segment 0 (phys 0x400..0x7FF).
+		for a := 0x400; a < 0x800; a++ {
+			m.WritePhys(machine.Word(a), machine.Word(rng.Uint32()))
+		}
+		m.SetSeg(0, 0x400, machine.MakeSegCtl(0x400, machine.AccessRW))
+		m.SetPSW(machine.PSWUser)
+		m.SetAltSP(0x3E0) // kernel stack inside kernel area
+		m.SetPC(machine.Word(rng.Intn(0x400)))
+		m.SetReg(machine.RegSP, 0x3FF)
+		for i := 0; i < 200 && !m.Halted(); i++ {
+			m.Step()
+		}
+		if m.Fault != nil {
+			return false // machine check = kernel-mode bus error: a leak
+		}
+		// Kernel pattern intact except the words the test itself wrote
+		// (vectors 0x04..0x11, handler 0x3F0, kernel stack 0x3D0..0x3E0).
+		touched := func(a int) bool {
+			switch {
+			case a >= int(machine.VecIllegal) && a < int(machine.VecTRAP)+2:
+				return true
+			case a == 0x3F0:
+				return true
+			case a >= 0x3D0 && a < 0x3E0:
+				return true
+			}
+			return false
+		}
+		for a := 0; a < 0x400; a++ {
+			if touched(a) {
+				continue
+			}
+			if m.ReadPhys(machine.Word(a)) != 0xA5A5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(real, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EncBranch/BranchOffset round-trip across the legal range.
+func TestBranchEncodingRoundTrip(t *testing.T) {
+	for off := -512; off <= 511; off++ {
+		w := machine.EncBranch(machine.OpBEQ, off)
+		if machine.DecodeOp(w) != machine.OpBEQ {
+			t.Fatalf("opcode lost at offset %d", off)
+		}
+		if got := machine.BranchOffset(w); got != off {
+			t.Fatalf("offset %d round-tripped to %d", off, got)
+		}
+	}
+}
+
+// Property: operand spec round-trip.
+func TestSpecRoundTrip(t *testing.T) {
+	for mode := 0; mode < 4; mode++ {
+		for reg := 0; reg < 8; reg++ {
+			s := machine.Spec(mode, reg)
+			if machine.SpecMode(s) != mode || machine.SpecReg(s) != reg {
+				t.Fatalf("spec (%d,%d) round-tripped to (%d,%d)",
+					mode, reg, machine.SpecMode(s), machine.SpecReg(s))
+			}
+		}
+	}
+}

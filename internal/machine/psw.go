@@ -1,0 +1,46 @@
+package machine
+
+// Processor status word layout.
+//
+//	bit 15    mode: 0 = kernel, 1 = user
+//	bits 5-7  interrupt priority (0..7); interrupts at priority <= this are held off
+//	bit 3     N (negative)
+//	bit 2     Z (zero)
+//	bit 1     V (overflow)
+//	bit 0     C (carry)
+const (
+	PSWUser Word = 1 << 15
+
+	pswPrioShift = 5
+	pswPrioMask  = 7 << pswPrioShift
+
+	FlagN Word = 1 << 3
+	FlagZ Word = 1 << 2
+	FlagV Word = 1 << 1
+	FlagC Word = 1 << 0
+
+	pswCCMask = FlagN | FlagZ | FlagV | FlagC
+)
+
+// PSWPriority extracts the interrupt priority field of a PSW value.
+func PSWPriority(psw Word) int { return int(psw&pswPrioMask) >> pswPrioShift }
+
+// WithPriority returns psw with its priority field replaced by p (0..7).
+func WithPriority(psw Word, p int) Word {
+	return psw&^pswPrioMask | Word(p&7)<<pswPrioShift
+}
+
+// IsUser reports whether the PSW selects user mode.
+func IsUser(psw Word) bool { return psw&PSWUser != 0 }
+
+// ccNZ computes the N and Z flags for a result value.
+func ccNZ(v Word) Word {
+	var cc Word
+	if v == 0 {
+		cc |= FlagZ
+	}
+	if v&0x8000 != 0 {
+		cc |= FlagN
+	}
+	return cc
+}

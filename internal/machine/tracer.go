@@ -1,0 +1,72 @@
+package machine
+
+import "fmt"
+
+// TraceEntry describes one instruction about to execute.
+type TraceEntry struct {
+	Cycle uint64
+	PC    Word // virtual PC in the executing mode
+	User  bool
+	Text  string // disassembly (best effort; "??" when unfetchable)
+}
+
+func (e TraceEntry) String() string {
+	mode := "krn"
+	if e.User {
+		mode = "usr"
+	}
+	return fmt.Sprintf("%8d %s %04x  %s", e.Cycle, mode, e.PC, e.Text)
+}
+
+// SetTracer installs (or, with nil, removes) a hook called before every
+// instruction execution. Tracing never perturbs the machine: operands are
+// peeked through a side-effect-free path.
+func (m *Machine) SetTracer(fn func(TraceEntry)) { m.tracer = fn }
+
+// Peek reads a word through the current mode's address map without any
+// side effect: MMU abort state is preserved and I/O registers are not
+// consulted (device register reads can consume data).
+func (m *Machine) Peek(vaddr Word) (Word, bool) {
+	pa := vaddr
+	if IsUser(m.psw) {
+		savedR, savedV := m.mmu.AbortReason, m.mmu.AbortVaddr
+		var ok bool
+		pa, ok = m.mmu.translate(vaddr, false)
+		m.mmu.AbortReason, m.mmu.AbortVaddr = savedR, savedV
+		if !ok {
+			return 0, false
+		}
+	}
+	if int(pa) < m.ramWords {
+		return m.ram[pa], true
+	}
+	return 0, false
+}
+
+// traceCurrent emits a TraceEntry for the instruction at PC, if a tracer
+// is installed.
+func (m *Machine) traceCurrent() {
+	if m.tracer == nil {
+		return
+	}
+	pc := m.regs[RegPC]
+	var words [3]Word
+	n := 0
+	for ; n < 3; n++ {
+		w, ok := m.Peek(pc + Word(n))
+		if !ok {
+			break
+		}
+		words[n] = w
+	}
+	text := "??"
+	if n > 0 && InstrLen(words[0]) <= n {
+		text, _ = Disasm(words[:n])
+	}
+	m.tracer(TraceEntry{
+		Cycle: m.cycles,
+		PC:    pc,
+		User:  IsUser(m.psw),
+		Text:  text,
+	})
+}

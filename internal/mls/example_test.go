@@ -1,0 +1,41 @@
+package mls_test
+
+import (
+	"fmt"
+
+	"repro/internal/mls"
+)
+
+func ExampleLabel_Dominates() {
+	secretCrypto := mls.L(mls.Secret, 1)
+	secret := mls.L(mls.Secret)
+	topSecret := mls.L(mls.TopSecret)
+
+	fmt.Println(secretCrypto.Dominates(secret))    // more categories wins
+	fmt.Println(topSecret.Dominates(secretCrypto)) // missing the category
+	fmt.Println(mls.Lub(topSecret, secretCrypto))
+	// Output:
+	// true
+	// false
+	// TOP SECRET{1}
+}
+
+// The two Bell–LaPadula properties, and the trusted-process escape hatch
+// whose consequences the paper's section 1 is about.
+func ExampleMonitor_Check() {
+	m := mls.NewMonitor()
+	m.AddSubject("spooler", mls.L(mls.TopSecret), false)
+	m.AddObject("low-spool", mls.L(mls.Unclassified))
+
+	fmt.Println(m.Check("spooler", "low-spool", mls.Observe)) // read-down ok
+	fmt.Println(m.Check("spooler", "low-spool", mls.Alter))   // write-down denied
+
+	trusted := mls.NewMonitor()
+	trusted.AddSubject("spooler", mls.L(mls.TopSecret), true)
+	trusted.AddObject("low-spool", mls.L(mls.Unclassified))
+	fmt.Println(trusted.Check("spooler", "low-spool", mls.Alter))
+	// Output:
+	// GRANT spooler observe on low-spool (ok)
+	// DENY spooler alter on low-spool (*-property)
+	// GRANT spooler alter on low-spool (trusted)
+}

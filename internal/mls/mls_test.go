@@ -1,0 +1,197 @@
+package mls_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mls"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b mls.Label
+		want bool
+	}{
+		{mls.L(mls.Secret), mls.L(mls.Unclassified), true},
+		{mls.L(mls.Unclassified), mls.L(mls.Secret), false},
+		{mls.L(mls.Secret, 1), mls.L(mls.Secret), true},
+		{mls.L(mls.Secret), mls.L(mls.Secret, 1), false},
+		{mls.L(mls.TopSecret, 1), mls.L(mls.Secret, 2), false}, // categories incomparable
+		{mls.L(mls.TopSecret, 1, 2), mls.L(mls.Secret, 2), true},
+		{mls.L(mls.Secret, 1), mls.L(mls.Secret, 1), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%s dominates %s = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomLabel(level int, cats uint64) mls.Label {
+	return mls.Label{Level: mls.Level(((level % 4) + 4) % 4), Cats: mls.CatSet(cats & 0xF)}
+}
+
+func TestDominanceLatticeProperties(t *testing.T) {
+	// Partial order laws.
+	reflexive := func(lv int, cats uint64) bool {
+		a := randomLabel(lv, cats)
+		return a.Dominates(a)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(l1 int, c1 uint64, l2 int, c2 uint64) bool {
+		a, b := randomLabel(l1, c1), randomLabel(l2, c2)
+		if a.Dominates(b) && b.Dominates(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	trans := func(l1 int, c1 uint64, l2 int, c2 uint64, l3 int, c3 uint64) bool {
+		a, b, c := randomLabel(l1, c1), randomLabel(l2, c2), randomLabel(l3, c3)
+		if a.Dominates(b) && b.Dominates(c) {
+			return a.Dominates(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error(err)
+	}
+	// Lub is the least upper bound; Glb the greatest lower bound.
+	lubLaw := func(l1 int, c1 uint64, l2 int, c2 uint64) bool {
+		a, b := randomLabel(l1, c1), randomLabel(l2, c2)
+		j := mls.Lub(a, b)
+		if !j.Dominates(a) || !j.Dominates(b) {
+			return false
+		}
+		m := mls.Glb(a, b)
+		return a.Dominates(m) && b.Dominates(m)
+	}
+	if err := quick.Check(lubLaw, nil); err != nil {
+		t.Error(err)
+	}
+	// Glb/Lub absorption.
+	absorb := func(l1 int, c1 uint64, l2 int, c2 uint64) bool {
+		a, b := randomLabel(l1, c1), randomLabel(l2, c2)
+		return mls.Lub(a, mls.Glb(a, b)).Equal(a) && mls.Glb(a, mls.Lub(a, b)).Equal(a)
+	}
+	if err := quick.Check(absorb, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if got := mls.L(mls.Secret).String(); got != "SECRET" {
+		t.Errorf("got %q", got)
+	}
+	if got := mls.L(mls.TopSecret, 0, 3).String(); got != "TOP SECRET{0,3}" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCategoriesRegistry(t *testing.T) {
+	cats := mls.NewCategories("nato", "crypto")
+	cs := cats.Set("crypto")
+	if !cs.Has(1) || cs.Has(0) {
+		t.Errorf("Set(crypto) = %b", cs)
+	}
+	if name := cats.Name(0); name != "nato" {
+		t.Errorf("Name(0) = %q", name)
+	}
+	if _, ok := cats.Bit("missing"); ok {
+		t.Error("unknown category resolved")
+	}
+}
+
+func TestMonitorSSProperty(t *testing.T) {
+	m := mls.NewMonitor()
+	m.AddSubject("alice", mls.L(mls.Secret), false)
+	m.AddObject("memo", mls.L(mls.TopSecret))
+	m.AddObject("note", mls.L(mls.Unclassified))
+	if d := m.Check("alice", "memo", mls.Observe); d.Granted {
+		t.Error("read-up granted")
+	} else if d.Rule != "ss-property" {
+		t.Errorf("rule = %q", d.Rule)
+	}
+	if d := m.Check("alice", "note", mls.Observe); !d.Granted {
+		t.Error("read-down denied")
+	}
+}
+
+func TestMonitorStarProperty(t *testing.T) {
+	m := mls.NewMonitor()
+	m.AddSubject("proc", mls.L(mls.Secret), false)
+	m.AddObject("low", mls.L(mls.Unclassified))
+	m.AddObject("high", mls.L(mls.TopSecret))
+	if d := m.Check("proc", "low", mls.Alter); d.Granted {
+		t.Error("write-down granted")
+	} else if d.Rule != "*-property" {
+		t.Errorf("rule = %q", d.Rule)
+	}
+	if d := m.Check("proc", "high", mls.Alter); !d.Granted {
+		t.Error("write-up denied (BLP allows blind write-up)")
+	}
+}
+
+func TestMonitorTrustedEscapeHatch(t *testing.T) {
+	m := mls.NewMonitor()
+	m.AddSubject("spooler", mls.L(mls.TopSecret), true)
+	m.AddObject("low-spool", mls.L(mls.Unclassified))
+	d := m.Check("spooler", "low-spool", mls.Alter)
+	if !d.Granted || d.Rule != "trusted" {
+		t.Errorf("trusted write-down: %+v", d)
+	}
+	if m.TrustedUses() != 1 {
+		t.Errorf("TrustedUses = %d", m.TrustedUses())
+	}
+}
+
+func TestMonitorCurrentLevel(t *testing.T) {
+	m := mls.NewMonitor()
+	m.AddSubject("bob", mls.L(mls.TopSecret), false)
+	m.AddObject("low", mls.L(mls.Unclassified))
+	// Operating at a lowered current level, the *-property permits the write.
+	if err := m.SetCurrent("bob", mls.L(mls.Unclassified)); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Check("bob", "low", mls.Alter); !d.Granted {
+		t.Errorf("write at lowered level denied: %+v", d)
+	}
+	// But reads above the current level then fail.
+	m.AddObject("mid", mls.L(mls.Secret))
+	if d := m.Check("bob", "mid", mls.Observe); d.Granted {
+		t.Error("read above current level granted")
+	}
+	// Raising above clearance is rejected.
+	if err := m.SetCurrent("bob", mls.L(mls.TopSecret, 5)); err == nil {
+		t.Error("current level rose above clearance")
+	}
+}
+
+func TestMonitorUnknownPrincipals(t *testing.T) {
+	m := mls.NewMonitor()
+	if d := m.Check("ghost", "nothing", mls.Observe); d.Granted {
+		t.Error("unknown principals granted")
+	}
+	if m.Denials() != 1 {
+		t.Errorf("Denials = %d", m.Denials())
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	m := mls.NewMonitor()
+	m.AddSubject("a", mls.L(mls.Secret), false)
+	m.AddObject("o", mls.L(mls.Secret))
+	m.Check("a", "o", mls.Observe)
+	m.Check("a", "o", mls.Alter)
+	audit := m.Audit()
+	if len(audit) != 2 {
+		t.Fatalf("audit has %d entries", len(audit))
+	}
+	if !audit[0].Granted || !audit[1].Granted {
+		t.Error("same-level access denied")
+	}
+}

@@ -1,0 +1,189 @@
+package mls
+
+import "fmt"
+
+// Access is a requested access mode in Bell–LaPadula terms.
+type Access int
+
+// Access modes: Observe is any read, Alter is any write.
+const (
+	Observe Access = 1 << iota
+	Alter
+)
+
+// String renders the mode.
+func (a Access) String() string {
+	switch a {
+	case Observe:
+		return "observe"
+	case Alter:
+		return "alter"
+	case Observe | Alter:
+		return "observe+alter"
+	}
+	return fmt.Sprintf("access(%d)", int(a))
+}
+
+// Decision is the monitor's verdict on one request.
+type Decision struct {
+	Granted bool
+	Rule    string // which property decided: "ss-property", "*-property", "trusted", "ok"
+	Subject string
+	Object  string
+	Access  Access
+}
+
+func (d Decision) String() string {
+	verdict := "DENY"
+	if d.Granted {
+		verdict = "GRANT"
+	}
+	return fmt.Sprintf("%s %s %s on %s (%s)", verdict, d.Subject, d.Access, d.Object, d.Rule)
+}
+
+// Subject is an active entity with a clearance and a current level.
+type Subject struct {
+	Name      string
+	Clearance Label // maximum label
+	Current   Label // working level (≤ clearance)
+	// Trusted exempts the subject from the *-property — the escape hatch
+	// that turns a process into a "trusted process", with everything the
+	// paper says follows from that.
+	Trusted bool
+}
+
+// Object is a passive entity with a classification.
+type Object struct {
+	Name           string
+	Classification Label
+}
+
+// Monitor is a Bell–LaPadula reference monitor with an audit trail.
+type Monitor struct {
+	subjects map[string]*Subject
+	objects  map[string]*Object
+	audit    []Decision
+	// AuditLimit caps the trail (0 = 4096).
+	AuditLimit int
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		subjects: map[string]*Subject{},
+		objects:  map[string]*Object{},
+	}
+}
+
+// AddSubject registers a subject; current level defaults to clearance.
+func (m *Monitor) AddSubject(name string, clearance Label, trusted bool) *Subject {
+	s := &Subject{Name: name, Clearance: clearance, Current: clearance, Trusted: trusted}
+	m.subjects[name] = s
+	return s
+}
+
+// AddObject registers an object.
+func (m *Monitor) AddObject(name string, class Label) *Object {
+	o := &Object{Name: name, Classification: class}
+	m.objects[name] = o
+	return o
+}
+
+// Subject looks up a subject.
+func (m *Monitor) Subject(name string) (*Subject, bool) {
+	s, ok := m.subjects[name]
+	return s, ok
+}
+
+// Object looks up an object.
+func (m *Monitor) Object(name string) (*Object, bool) {
+	o, ok := m.objects[name]
+	return o, ok
+}
+
+// RemoveObject deletes an object (e.g. an unlinked spool file).
+func (m *Monitor) RemoveObject(name string) { delete(m.objects, name) }
+
+// SetCurrent lowers (or raises, within clearance) a subject's working level.
+func (m *Monitor) SetCurrent(name string, lvl Label) error {
+	s, ok := m.subjects[name]
+	if !ok {
+		return fmt.Errorf("mls: unknown subject %q", name)
+	}
+	if !s.Clearance.Dominates(lvl) {
+		return fmt.Errorf("mls: %q cannot operate above clearance", name)
+	}
+	s.Current = lvl
+	return nil
+}
+
+// Check decides one access request and records it in the audit trail.
+//
+// ss-property: Observe requires subject.Current ⊒ object.
+// *-property:  Alter requires object ⊒ subject.Current — unless the
+// subject is Trusted, in which case the alteration is granted and audited
+// with rule "trusted".
+func (m *Monitor) Check(subject, object string, a Access) Decision {
+	d := Decision{Subject: subject, Object: object, Access: a}
+	s, okS := m.subjects[subject]
+	o, okO := m.objects[object]
+	switch {
+	case !okS:
+		d.Rule = "unknown-subject"
+	case !okO:
+		d.Rule = "unknown-object"
+	default:
+		d.Granted = true
+		d.Rule = "ok"
+		if a&Observe != 0 && !s.Current.Dominates(o.Classification) {
+			d.Granted = false
+			d.Rule = "ss-property"
+		}
+		if d.Granted && a&Alter != 0 && !o.Classification.Dominates(s.Current) {
+			if s.Trusted {
+				d.Rule = "trusted"
+			} else {
+				d.Granted = false
+				d.Rule = "*-property"
+			}
+		}
+	}
+	m.record(d)
+	return d
+}
+
+func (m *Monitor) record(d Decision) {
+	limit := m.AuditLimit
+	if limit == 0 {
+		limit = 4096
+	}
+	if len(m.audit) < limit {
+		m.audit = append(m.audit, d)
+	}
+}
+
+// Audit returns the decision trail.
+func (m *Monitor) Audit() []Decision { return append([]Decision(nil), m.audit...) }
+
+// TrustedUses counts granted accesses that needed the trusted escape hatch
+// — the measure of how much of the TCB lives outside the policy.
+func (m *Monitor) TrustedUses() int {
+	n := 0
+	for _, d := range m.audit {
+		if d.Granted && d.Rule == "trusted" {
+			n++
+		}
+	}
+	return n
+}
+
+// Denials counts denied requests.
+func (m *Monitor) Denials() int {
+	n := 0
+	for _, d := range m.audit {
+		if !d.Granted {
+			n++
+		}
+	}
+	return n
+}

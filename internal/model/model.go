@@ -1,0 +1,125 @@
+// Package model states Rushby's Appendix model of a shared system as Go
+// interfaces, so that both toy systems and the real SM11/SUE-Go kernel can
+// be checked by the same Proof-of-Separability machinery.
+//
+// The paper's model comprises a set S of states and a set OPS ⊆ S→S of
+// operations. The system consumes inputs i ∈ I and produces outputs o ∈ O.
+// At each time step the system emits OUTPUT(s), consumes an input giving the
+// intermediate state s̄ = INPUT(s, i), and then executes NEXTOP(s̄), moving
+// to NEXTOP(s̄)(s̄). A set C of colours identifies the users; COLOUR(s) is
+// the colour on whose behalf the next operation executes, and EXTRACT(c, ·)
+// projects the c-coloured private components out of inputs and outputs.
+//
+// Security is defined by the existence, for every colour c, of abstraction
+// functions Φ^c and ABOP^c satisfying the six conditions of the Appendix;
+// package separability checks those conditions against implementations of
+// the interfaces below.
+package model
+
+// Colour identifies one user (one regime) of a shared system.
+type Colour string
+
+// Input is one external stimulus vector: what the environment presents to
+// every device/port of the system at one time step. Implementations are
+// immutable values.
+type Input interface{}
+
+// Output is one emitted output vector, likewise immutable.
+type Output interface{}
+
+// StateRef is an opaque deep copy of a system state, used to save and
+// restore the system while exploring.
+type StateRef interface{}
+
+// OpID names an operation of OPS. Two states select the same operation
+// exactly when their OpIDs are equal (this realises NEXTOP for checking
+// condition 6).
+type OpID string
+
+// SharedSystem is the concrete machine of the model: a deterministic state
+// machine with coloured users. All methods refer to the system's *current*
+// state; Save/Restore move the current state around.
+//
+// One model time step is: out := CurrentOutput(); ApplyInput(i); Step().
+type SharedSystem interface {
+	// Colours returns the user set C.
+	Colours() []Colour
+
+	// Save deep-copies the current state.
+	Save() StateRef
+	// Restore overwrites the current state with a previous Save.
+	Restore(StateRef)
+
+	// Colour returns COLOUR(s) for the current state: the colour on whose
+	// behalf the next operation will execute.
+	Colour() Colour
+
+	// NextOp identifies NEXTOP(s) for the current state.
+	NextOp() OpID
+
+	// Step executes NEXTOP(s) on the current state.
+	Step()
+
+	// ApplyInput applies INPUT(s, i) to the current state.
+	ApplyInput(i Input)
+
+	// CurrentOutput returns OUTPUT(s) of the current state.
+	CurrentOutput() Output
+
+	// Abstract computes a canonical encoding of Φ^c(s) for the current
+	// state: everything colour c can observe of its own abstract machine.
+	// Equality of encodings is equality of abstract states.
+	Abstract(c Colour) string
+
+	// ExtractInput computes a canonical encoding of EXTRACT(c, i).
+	ExtractInput(c Colour, i Input) string
+
+	// ExtractOutput computes a canonical encoding of EXTRACT(c, o).
+	ExtractOutput(c Colour, o Output) string
+}
+
+// Enumerable is implemented by systems small enough to check exhaustively:
+// the checker visits every reachable state (or every state the enumerator
+// yields) and every input.
+type Enumerable interface {
+	SharedSystem
+
+	// EnumerateStates calls fn with a StateRef for every state to check.
+	// Returning false stops the enumeration.
+	EnumerateStates(fn func(StateRef) bool)
+
+	// EnumerateInputs calls fn with every input value to check.
+	EnumerateInputs(fn func(Input) bool)
+}
+
+// Rand is the source of randomness handed to Perturbable systems; it is the
+// subset of *math/rand.Rand the implementations need.
+type Rand interface {
+	Intn(n int) int
+	Uint32() uint32
+}
+
+// Perturbable is implemented by systems too large to enumerate; the checker
+// samples random reachable states and perturbs the parts of the state that
+// a given colour should not be able to observe.
+type Perturbable interface {
+	SharedSystem
+
+	// Randomize drives the system into a random plausible reachable state
+	// (typically: reset, then run a random prefix with random stimuli).
+	Randomize(r Rand)
+
+	// PerturbOutside mutates state components that do not belong to colour
+	// c — other regimes' memory, registers and device state — while
+	// preserving Φ^c(s) and COLOUR(s). The checker verifies preservation
+	// and fails the *system definition* (not separability) if violated.
+	PerturbOutside(c Colour, r Rand)
+
+	// RandomInput produces a random input stimulus.
+	RandomInput(r Rand) Input
+
+	// RandomInputMatching produces a random input i' with
+	// EXTRACT(c, i') == EXTRACT(c, i): same c-coloured components as i,
+	// everything else free.
+	RandomInputMatching(c Colour, i Input, r Rand) Input
+}

@@ -1,0 +1,182 @@
+// Package printserver implements the central printing facility of the
+// paper's section 2: "a self-contained printer-server connected to each
+// single-user machine (and probably the file-server also) by additional,
+// dedicated communication lines."
+//
+// Its security requirements are specific to its function, exactly as the
+// paper argues they must be:
+//
+//   - it prints the correct security classification of each job on the
+//     banner (header) page;
+//   - it never interleaves parts of one job within another;
+//   - it never feeds one user's input back to another user;
+//   - it cooperates with the file-server through that server's narrow
+//     spool services, and asks it to delete each spool file after printing.
+package printserver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/distsys"
+	"repro/internal/mls"
+)
+
+// job is one queued print request.
+type job struct {
+	id        string // spool id at the file-server
+	requester string
+}
+
+// Server is the printer-server component.
+//
+// Ports:
+//
+//	user_<name>    (in)  print requests from user <name>'s machine
+//	re_user_<name> (out) acknowledgements
+//	auth           (in)  clearance announcements
+//	fs             (out) special-service requests to the file-server
+//	fsin           (in)  file-server replies
+type Server struct {
+	name string
+	// queue of jobs; the head may be in flight with the file-server.
+	queue      []job
+	inflight   bool
+	deleting   bool
+	clearances map[string]mls.Label
+
+	printed []Page
+	jobsSeq int
+}
+
+// Page is one printed page (banner, body or trailer).
+type Page struct {
+	Kind  string // "banner", "body", "trailer"
+	Job   string
+	User  string
+	Label string
+	Text  string
+}
+
+// New creates an idle printer-server.
+func New(name string) *Server {
+	return &Server{name: name, clearances: map[string]mls.Label{}}
+}
+
+// Name implements distsys.Component.
+func (s *Server) Name() string { return s.name }
+
+// Handle implements distsys.Component.
+func (s *Server) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	switch {
+	case port == "auth":
+		if m.Kind == "clearance" {
+			if lbl, err := mls.ParseCompact(m.Arg("label")); err == nil {
+				s.clearances[m.Arg("user")] = lbl
+			}
+		}
+	case port == "fsin":
+		s.handleFS(ctx, m)
+	case strings.HasPrefix(port, "user_"):
+		s.handleUser(ctx, port[5:], m)
+	}
+}
+
+func (s *Server) handleUser(ctx distsys.Context, user string, m distsys.Message) {
+	if m.Kind != "print" {
+		return
+	}
+	if _, known := s.clearances[user]; !known {
+		ctx.Send("re_user_"+user, distsys.Msg("err", "why", "not authenticated"))
+		return
+	}
+	id := m.Arg("id")
+	if !strings.HasPrefix(id, "spool/"+user+"/") {
+		// A user may only print their own spool files; anything else
+		// would let one user pull another's data to paper.
+		ctx.Send("re_user_"+user, distsys.Msg("err", "why", "not your spool file"))
+		return
+	}
+	s.queue = append(s.queue, job{id: id, requester: user})
+	ctx.Send("re_user_"+user, distsys.Msg("queued", "id", id, "pos",
+		fmt.Sprintf("%d", len(s.queue))))
+}
+
+// Poll implements distsys.Component: start the next job when idle.
+func (s *Server) Poll(ctx distsys.Context) bool {
+	if s.inflight || s.deleting || len(s.queue) == 0 {
+		return false
+	}
+	s.inflight = true
+	ctx.Send("fs", distsys.Msg("readspool", "id", s.queue[0].id))
+	return true
+}
+
+func (s *Server) handleFS(ctx distsys.Context, m distsys.Message) {
+	switch m.Kind {
+	case "spooldata":
+		if !s.inflight || len(s.queue) == 0 || m.Arg("id") != s.queue[0].id {
+			return // stale or spurious
+		}
+		j := s.queue[0]
+		label, _ := mls.ParseCompact(m.Arg("label"))
+		owner := m.Arg("owner")
+		s.jobsSeq++
+		jobName := fmt.Sprintf("job-%d", s.jobsSeq)
+		// The entire job prints as one uninterrupted banner/body/trailer
+		// sequence: job separation is structural.
+		s.printed = append(s.printed,
+			Page{Kind: "banner", Job: jobName, User: owner, Label: label.String(),
+				Text: fmt.Sprintf("*** %s *** job %s for %s", label, jobName, owner)},
+			Page{Kind: "body", Job: jobName, User: owner, Label: label.String(),
+				Text: string(m.Body)},
+			Page{Kind: "trailer", Job: jobName, User: owner, Label: label.String(),
+				Text: fmt.Sprintf("*** end of job %s ***", jobName)},
+		)
+		_ = j
+		s.inflight = false
+		s.deleting = true
+		ctx.Send("fs", distsys.Msg("delspool", "id", m.Arg("id")))
+	case "ok":
+		if s.deleting {
+			s.deleting = false
+			if len(s.queue) > 0 {
+				s.queue = s.queue[1:]
+			}
+		}
+	case "err":
+		// Drop the offending job rather than wedge the queue.
+		s.inflight = false
+		s.deleting = false
+		if len(s.queue) > 0 {
+			s.queue = s.queue[1:]
+		}
+	}
+}
+
+// Printed returns the pages printed so far.
+func (s *Server) Printed() []Page { return append([]Page(nil), s.printed...) }
+
+// QueueLength reports jobs not yet fully printed.
+func (s *Server) QueueLength() int { return len(s.queue) }
+
+// JobsPrinted reports completed jobs.
+func (s *Server) JobsPrinted() int { return s.jobsSeq }
+
+// CheckJobSeparation verifies the printed stream's framing invariant:
+// banner, body, trailer triples with consistent job ids, never interleaved.
+func (s *Server) CheckJobSeparation() error {
+	if len(s.printed)%3 != 0 {
+		return fmt.Errorf("printed stream length %d is not a whole number of jobs", len(s.printed))
+	}
+	for i := 0; i < len(s.printed); i += 3 {
+		b, body, tr := s.printed[i], s.printed[i+1], s.printed[i+2]
+		if b.Kind != "banner" || body.Kind != "body" || tr.Kind != "trailer" {
+			return fmt.Errorf("job at page %d has frame %s/%s/%s", i, b.Kind, body.Kind, tr.Kind)
+		}
+		if b.Job != body.Job || body.Job != tr.Job {
+			return fmt.Errorf("interleaved jobs at page %d: %s/%s/%s", i, b.Job, body.Job, tr.Job)
+		}
+	}
+	return nil
+}

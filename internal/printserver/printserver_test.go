@@ -1,0 +1,151 @@
+package printserver_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distsys"
+	"repro/internal/mls"
+	"repro/internal/printserver"
+)
+
+func announce(s *printserver.Server, user string, lbl mls.Label) {
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "auth", distsys.Msg("clearance", "user", user, "label", lbl.Compact()))
+}
+
+func TestPrintJobLifecycle(t *testing.T) {
+	s := printserver.New("ps")
+	announce(s, "lois", mls.L(mls.Unclassified))
+	rec := &distsys.Recorder{}
+
+	// Queue a job.
+	s.Handle(rec, "user_lois", distsys.Msg("print", "id", "spool/lois/1"))
+	if got := rec.OnPort("re_user_lois"); len(got) != 1 || got[0].Kind != "queued" {
+		t.Fatalf("queue reply = %v", got)
+	}
+	// The server asks the file-server for the spool data.
+	if !s.Poll(rec) {
+		t.Fatal("poll did not start the job")
+	}
+	reads := rec.OnPort("fs")
+	if len(reads) != 1 || reads[0].Kind != "readspool" || reads[0].Arg("id") != "spool/lois/1" {
+		t.Fatalf("fs request = %v", reads)
+	}
+	// Deliver the spool data; expect printing plus a delete request.
+	rec.Take()
+	s.Handle(rec, "fsin", distsys.Msg("spooldata", "id", "spool/lois/1",
+		"owner", "lois", "label", mls.L(mls.Unclassified).Compact()).WithBody([]byte("hello")))
+	dels := rec.OnPort("fs")
+	if len(dels) != 1 || dels[0].Kind != "delspool" {
+		t.Fatalf("delete request = %v", dels)
+	}
+	s.Handle(rec, "fsin", distsys.Msg("ok", "id", "spool/lois/1"))
+
+	pages := s.Printed()
+	if len(pages) != 3 {
+		t.Fatalf("printed %d pages, want banner/body/trailer", len(pages))
+	}
+	if pages[0].Kind != "banner" || !strings.Contains(pages[0].Text, "UNCLASSIFIED") {
+		t.Errorf("banner = %+v", pages[0])
+	}
+	if pages[1].Text != "hello" {
+		t.Errorf("body = %q", pages[1].Text)
+	}
+	if err := s.CheckJobSeparation(); err != nil {
+		t.Error(err)
+	}
+	if s.QueueLength() != 0 || s.JobsPrinted() != 1 {
+		t.Errorf("queue=%d jobs=%d", s.QueueLength(), s.JobsPrinted())
+	}
+}
+
+func TestUnauthenticatedPrintRejected(t *testing.T) {
+	s := printserver.New("ps")
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "user_ghost", distsys.Msg("print", "id", "spool/ghost/1"))
+	if got := rec.OnPort("re_user_ghost"); len(got) != 1 || got[0].Kind != "err" {
+		t.Errorf("reply = %v", got)
+	}
+}
+
+func TestCrossUserSpoolRejected(t *testing.T) {
+	s := printserver.New("ps")
+	announce(s, "eve", mls.L(mls.Unclassified))
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "user_eve", distsys.Msg("print", "id", "spool/alice/7"))
+	got := rec.OnPort("re_user_eve")
+	if len(got) != 1 || got[0].Kind != "err" || !strings.Contains(got[0].Arg("why"), "not your spool") {
+		t.Errorf("reply = %v", got)
+	}
+	if s.QueueLength() != 0 {
+		t.Error("foreign job queued")
+	}
+}
+
+func TestFileServerErrorSkipsJob(t *testing.T) {
+	s := printserver.New("ps")
+	announce(s, "lois", mls.L(mls.Unclassified))
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "user_lois", distsys.Msg("print", "id", "spool/lois/9"))
+	s.Poll(rec)
+	s.Handle(rec, "fsin", distsys.Msg("err", "why", "no such spool", "id", "spool/lois/9"))
+	if s.QueueLength() != 0 {
+		t.Error("failed job wedged the queue")
+	}
+	if s.JobsPrinted() != 0 {
+		t.Error("failed job counted as printed")
+	}
+	// The server moves on to later jobs.
+	s.Handle(rec, "user_lois", distsys.Msg("print", "id", "spool/lois/10"))
+	if !s.Poll(rec) {
+		t.Error("queue did not resume after a failed job")
+	}
+}
+
+func TestStaleSpoolDataIgnored(t *testing.T) {
+	s := printserver.New("ps")
+	announce(s, "lois", mls.L(mls.Unclassified))
+	rec := &distsys.Recorder{}
+	// Data arrives with nothing in flight.
+	s.Handle(rec, "fsin", distsys.Msg("spooldata", "id", "spool/x/1",
+		"owner", "x", "label", "0/0").WithBody([]byte("stale")))
+	if len(s.Printed()) != 0 {
+		t.Error("stale data printed")
+	}
+}
+
+func TestJobsPrintInOrderWithoutInterleaving(t *testing.T) {
+	s := printserver.New("ps")
+	announce(s, "a", mls.L(mls.Unclassified))
+	announce(s, "b", mls.L(mls.Secret))
+	rec := &distsys.Recorder{}
+	s.Handle(rec, "user_a", distsys.Msg("print", "id", "spool/a/1"))
+	s.Handle(rec, "user_b", distsys.Msg("print", "id", "spool/b/1"))
+
+	for i := 0; i < 2; i++ {
+		rec.Take()
+		if !s.Poll(rec) {
+			t.Fatalf("job %d did not start", i)
+		}
+		req := rec.OnPort("fs")[0]
+		owner := "a"
+		lbl := mls.L(mls.Unclassified)
+		if strings.Contains(req.Arg("id"), "/b/") {
+			owner, lbl = "b", mls.L(mls.Secret)
+		}
+		s.Handle(rec, "fsin", distsys.Msg("spooldata", "id", req.Arg("id"),
+			"owner", owner, "label", lbl.Compact()).WithBody([]byte("job of "+owner)))
+		s.Handle(rec, "fsin", distsys.Msg("ok", "id", req.Arg("id")))
+	}
+	if s.JobsPrinted() != 2 {
+		t.Fatalf("jobs printed = %d", s.JobsPrinted())
+	}
+	if err := s.CheckJobSeparation(); err != nil {
+		t.Error(err)
+	}
+	// FIFO: a's job first.
+	if !strings.Contains(s.Printed()[1].Text, "job of a") {
+		t.Error("jobs printed out of order")
+	}
+}

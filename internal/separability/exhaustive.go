@@ -1,0 +1,182 @@
+package separability
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CheckExhaustive verifies the six conditions universally over every state
+// and input an Enumerable system yields. For a system whose enumerator
+// covers its whole (reachable) state space this constitutes a proof of
+// separability by explicit-state model checking.
+func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
+	if maxViolations <= 0 {
+		maxViolations = 64
+	}
+	res := &Result{Checks: map[Condition]int{}}
+
+	var states []model.StateRef
+	sys.EnumerateStates(func(s model.StateRef) bool {
+		states = append(states, s)
+		return true
+	})
+	var inputs []model.Input
+	sys.EnumerateInputs(func(i model.Input) bool {
+		inputs = append(inputs, i)
+		return true
+	})
+
+	type stateInfo struct {
+		ref    model.StateRef
+		colour model.Colour
+		op     model.OpID
+		phi    map[model.Colour]string // Φc(s)
+		phiOp  map[model.Colour]string // Φc(op(s))
+		outEx  map[model.Colour]string // EXTRACT(c, OUTPUT(s))
+		phiIn  []map[model.Colour]string
+		inEx   []map[model.Colour]string // EXTRACT(c, i) per input
+	}
+
+	colours := sys.Colours()
+	infos := make([]*stateInfo, 0, len(states))
+	for _, ref := range states {
+		sys.Restore(ref)
+		info := &stateInfo{
+			ref:    ref,
+			colour: sys.Colour(),
+			op:     sys.NextOp(),
+			phi:    map[model.Colour]string{},
+			phiOp:  map[model.Colour]string{},
+			outEx:  map[model.Colour]string{},
+		}
+		out := sys.CurrentOutput()
+		for _, c := range colours {
+			info.phi[c] = sys.Abstract(c)
+			info.outEx[c] = sys.ExtractOutput(c, out)
+		}
+		sys.Step()
+		for _, c := range colours {
+			info.phiOp[c] = sys.Abstract(c)
+		}
+		for ii, in := range inputs {
+			sys.Restore(ref)
+			phiIn := map[model.Colour]string{}
+			inEx := map[model.Colour]string{}
+			for _, c := range colours {
+				inEx[c] = sys.ExtractInput(c, in)
+			}
+			sys.ApplyInput(in)
+			for _, c := range colours {
+				phiIn[c] = sys.Abstract(c)
+			}
+			info.phiIn = append(info.phiIn, phiIn)
+			info.inEx = append(info.inEx, inEx)
+			_ = ii
+		}
+		infos = append(infos, info)
+	}
+
+	tooMany := func() bool { return len(res.Violations) >= maxViolations }
+
+	// Condition 2 (single-state) per colour.
+	for _, c := range colours {
+		for si, info := range infos {
+			if info.colour == c {
+				continue
+			}
+			res.count(Condition2)
+			if info.phiOp[c] != info.phi[c] {
+				res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
+					Step: si, Detail: diffDetail(info.phi[c], info.phiOp[c])})
+				if tooMany() {
+					return res
+				}
+			}
+		}
+	}
+
+	// Pairwise conditions: bucket states by Φc.
+	for _, c := range colours {
+		buckets := map[string][]int{}
+		for si, info := range infos {
+			buckets[info.phi[c]] = append(buckets[info.phi[c]], si)
+		}
+		for _, bucket := range buckets {
+			lead := infos[bucket[0]]
+			for _, si := range bucket[1:] {
+				info := infos[si]
+
+				// Condition 5: outputs agree across the bucket.
+				res.count(Condition5)
+				if info.outEx[c] != lead.outEx[c] {
+					res.add(Violation{Condition: Condition5, Colour: c, Op: info.op,
+						Step: si, Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
+							lead.outEx[c], info.outEx[c])})
+				}
+
+				// Condition 3: inputs act congruently across the bucket.
+				for ii := range inputs {
+					res.count(Condition3)
+					if info.phiIn[ii][c] != lead.phiIn[ii][c] {
+						res.add(Violation{Condition: Condition3, Colour: c, Op: info.op,
+							Step: si, Detail: fmt.Sprintf("input %d: %s", ii,
+								diffDetail(lead.phiIn[ii][c], info.phiIn[ii][c]))})
+					}
+				}
+				if tooMany() {
+					return res
+				}
+			}
+
+			// Conditions 1 and 6 apply to the sub-bucket with COLOUR=c.
+			var activeIdx []int
+			for _, si := range bucket {
+				if infos[si].colour == c {
+					activeIdx = append(activeIdx, si)
+				}
+			}
+			if len(activeIdx) > 1 {
+				lead := infos[activeIdx[0]]
+				for _, si := range activeIdx[1:] {
+					info := infos[si]
+					res.count(Condition6)
+					if info.op != lead.op {
+						res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
+							Step: si, Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
+					}
+					res.count(Condition1)
+					if info.phiOp[c] != lead.phiOp[c] {
+						res.add(Violation{Condition: Condition1, Colour: c, Op: info.op,
+							Step: si, Detail: diffDetail(lead.phiOp[c], info.phiOp[c])})
+					}
+					if tooMany() {
+						return res
+					}
+				}
+			}
+		}
+
+		// Condition 4: per state, inputs grouped by EXTRACT(c, i).
+		for si, info := range infos {
+			groups := map[string]int{}
+			for ii := range inputs {
+				key := info.inEx[ii][c]
+				if first, ok := groups[key]; ok {
+					res.count(Condition4)
+					if info.phiIn[ii][c] != info.phiIn[first][c] {
+						res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
+							Step: si, Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
+								first, ii)})
+						if tooMany() {
+							return res
+						}
+					}
+				} else {
+					groups[key] = ii
+				}
+			}
+		}
+	}
+	return res
+}

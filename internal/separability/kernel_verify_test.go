@@ -1,0 +1,147 @@
+package separability_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/separability"
+	"repro/internal/verifysys"
+)
+
+// These tests verify the real SUE-Go kernel with the standard verification
+// system of package verifysys (worker + peer + probe regimes).
+
+func build(t testing.TB, probe string, leaks kernel.Leaks, cut bool) *kernel.Adapter {
+	t.Helper()
+	sys, err := verifysys.Build(probe, leaks, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestHonestCutKernelPassesSeparability(t *testing.T) {
+	for _, probe := range []struct{ name, src string }{
+		{"plain", verifysys.ProbePlain},
+		{"combined", verifysys.ProbeCombined},
+		{"scratch", verifysys.ProbeScratch},
+		{"overlap", verifysys.ProbeOverlap},
+	} {
+		t.Run(probe.name, func(t *testing.T) {
+			sys := build(t, probe.src, kernel.Leaks{}, true)
+			opt := separability.Options{
+				Trials: 6, StepsPerTrial: 80, Seed: 42, CheckScheduling: true,
+			}
+			res := separability.CheckRandomized(sys, opt)
+			if !res.Passed() {
+				for i, v := range res.Violations {
+					if i > 4 {
+						break
+					}
+					t.Logf("violation: %s", v)
+				}
+				t.Fatalf("honest cut kernel failed: %s", res.Summary())
+			}
+			for _, c := range []separability.Condition{
+				separability.Condition1, separability.Condition2,
+				separability.Condition3, separability.Condition6,
+			} {
+				if res.Checks[c] == 0 {
+					t.Errorf("%s was never exercised", c)
+				}
+			}
+		})
+	}
+}
+
+func TestUncutKernelShowsConfiguredChannelFlows(t *testing.T) {
+	// With channels NOT cut, information legitimately flows worker->probe
+	// and probe->worker, so isolation checking must fail — that failure is
+	// what motivates the cutting transformation (paper, section 4).
+	sys := build(t, verifysys.ProbePlain, kernel.Leaks{}, false)
+	opt := separability.Options{Trials: 6, StepsPerTrial: 80, Seed: 42}
+	res := separability.CheckRandomized(sys, opt)
+	if res.Passed() {
+		t.Fatal("uncut kernel passed isolation checking; the configured channels should register as flows")
+	}
+	t.Logf("uncut flows registered as: %v", res.ViolatedConditions())
+}
+
+func TestLeakyKernelsCaught(t *testing.T) {
+	cases := []struct {
+		name  string
+		leaks kernel.Leaks
+		sched bool // requires the scheduling extension
+	}{
+		{"RegisterLeak", kernel.Leaks{RegisterLeak: true}, false},
+		{"PartitionOverlap", kernel.Leaks{PartitionOverlap: true}, false},
+		{"SharedScratch", kernel.Leaks{SharedScratch: true}, false},
+		{"InterruptMisroute", kernel.Leaks{InterruptMisroute: true}, false},
+		{"ChannelAlias", kernel.Leaks{ChannelAlias: true}, false},
+		{"OutputCopy", kernel.Leaks{OutputCopy: true}, false},
+		{"SchedulerSnoop", kernel.Leaks{SchedulerSnoop: true}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := build(t, verifysys.ProbeFor(tc.leaks), tc.leaks, true)
+			opt := separability.Options{
+				Trials: 10, StepsPerTrial: 100, Seed: 99,
+				CheckScheduling: tc.sched,
+			}
+			res := separability.CheckRandomized(sys, opt)
+			if res.Passed() {
+				t.Fatalf("leak %s was NOT caught by separability checking", tc.name)
+			}
+			t.Logf("%s caught: %v", tc.name, res.ViolatedConditions())
+			if tc.sched {
+				found := false
+				for _, c := range res.ViolatedConditions() {
+					if c == separability.ConditionSched {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("SchedulerSnoop should trip the scheduling extension; got %v",
+						res.ViolatedConditions())
+				}
+			}
+			// A perturbation defect would invalidate the whole run.
+			for _, v := range res.Violations {
+				if v.Condition == separability.ConditionMeta {
+					t.Errorf("meta violation (adapter defect): %s", v)
+				}
+			}
+		})
+	}
+}
+
+func TestSchedulerSnoopInvisibleToSixConditions(t *testing.T) {
+	// The paper scopes scheduling/denial-of-service out of its security
+	// model ("denial of service is not a security problem", section 3).
+	// SchedulerSnoop demonstrates that boundary: the literal six
+	// conditions do not see it.
+	sys := build(t, verifysys.ProbePlain, kernel.Leaks{SchedulerSnoop: true}, true)
+	opt := separability.Options{Trials: 8, StepsPerTrial: 80, Seed: 11}
+	res := separability.CheckRandomized(sys, opt)
+	if !res.Passed() {
+		t.Fatalf("six conditions unexpectedly flagged the pure scheduling channel: %s",
+			res.Summary())
+	}
+}
+
+// Seed robustness: the honest kernel must pass for every exploration seed
+// (a seed-dependent false positive would make the checker useless).
+func TestHonestKernelManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		sys := build(t, verifysys.ProbePlain, kernel.Leaks{}, true)
+		res := separability.CheckRandomized(sys, separability.Options{
+			Trials: 3, StepsPerTrial: 50, Seed: seed, CheckScheduling: true,
+		})
+		if !res.Passed() {
+			t.Fatalf("seed %d: honest kernel failed: %s", seed, res.Summary())
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package separability implements Rushby's "Proof of Separability" as an
+// executable verification technique: it checks the six conditions of the
+// paper's Appendix against any system implementing the interfaces of
+// package model.
+//
+// Two drivers are provided. CheckExhaustive visits every state and input of
+// an Enumerable system and verifies the conditions universally — for toy
+// systems this *is* a proof, by explicit-state model checking. The real
+// SM11/SUE-Go system has far too many states for that, so CheckRandomized
+// verifies the conditions on sampled reachable states, using the system's
+// PerturbOutside operation to construct the Φ-equivalent state pairs the
+// pairwise conditions quantify over. A randomized check is testing rather
+// than proof, but every violation it reports is a genuine one, with a
+// counterexample.
+//
+// The six conditions, restated operationally (see model's package comment
+// for the setting):
+//
+//  1. COLOUR(s)=c  ⇒ Φc(op(s)) = ABOPc(op)(Φc(s))
+//     — checked as a congruence: states with equal Φc and the same
+//     operation must have equal Φc afterwards.
+//  2. COLOUR(s)≠c  ⇒ Φc(op(s)) = Φc(s)
+//  3. Φc(s)=Φc(s') ⇒ Φc(INPUT(s,i)) = Φc(INPUT(s',i))
+//  4. EXTRACT(c,i)=EXTRACT(c,i') ⇒ Φc(INPUT(s,i)) = Φc(INPUT(s,i'))
+//  5. Φc(s)=Φc(s') ⇒ EXTRACT(c,OUTPUT(s)) = EXTRACT(c,OUTPUT(s'))
+//  6. COLOUR(s)=COLOUR(s')=c ∧ Φc(s)=Φc(s') ⇒ NEXTOP(s)=NEXTOP(s')
+//
+// Condition 1's ABOPc is never materialized: if the congruence holds, the
+// abstract operation exists by construction (its value on an abstract state
+// is the common image), which is exactly Hoare's abstraction-function
+// argument the paper appeals to.
+package separability
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Condition identifies which of the six conditions a violation breaks.
+// ConditionMeta flags a defect in the system's own perturbation operation
+// (the checker validates it before trusting any pair), and
+// ConditionSched is the scheduling-independence extension check, which is
+// deliberately *not* one of the paper's six (see ExtensionNote).
+type Condition int
+
+// Condition values.
+const (
+	ConditionMeta  Condition = 0
+	Condition1     Condition = 1
+	Condition2     Condition = 2
+	Condition3     Condition = 3
+	Condition4     Condition = 4
+	Condition5     Condition = 5
+	Condition6     Condition = 6
+	ConditionSched Condition = 7
+)
+
+// String names the condition.
+func (c Condition) String() string {
+	switch c {
+	case ConditionMeta:
+		return "meta(perturbation)"
+	case ConditionSched:
+		return "scheduling-independence(extension)"
+	default:
+		return fmt.Sprintf("condition %d", int(c))
+	}
+}
+
+// ExtensionNote explains ConditionSched's standing relative to the paper.
+const ExtensionNote = `The six conditions of the paper deliberately permit
+scheduling channels: "denial of service is not a security problem" for the
+single-function systems the SUE serves (paper, section 3). The
+scheduling-independence check is therefore an extension, off by default:
+it requires that WHICH colour runs next never depends on state outside the
+active colour's abstract machine and the kernel's own scheduling state.`
+
+// Violation is one counterexample to one condition.
+type Violation struct {
+	Condition Condition
+	Colour    model.Colour
+	Op        model.OpID
+	Detail    string
+	Trial     int
+	Step      int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s for colour %q at trial %d step %d (op %q): %s",
+		v.Condition, v.Colour, v.Trial, v.Step, v.Op, v.Detail)
+}
+
+// Result accumulates the outcome of a check.
+type Result struct {
+	Violations []Violation
+	// Checks counts how many instances of each condition were verified.
+	Checks map[Condition]int
+}
+
+// Passed reports whether no violation was found.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// Summary renders a one-line outcome.
+func (r *Result) Summary() string {
+	total := 0
+	for _, n := range r.Checks {
+		total += n
+	}
+	if r.Passed() {
+		return fmt.Sprintf("PASS: %d condition instances verified, 0 violations", total)
+	}
+	return fmt.Sprintf("FAIL: %d violations (first: %s)", len(r.Violations), r.Violations[0])
+}
+
+func (r *Result) add(v Violation) { r.Violations = append(r.Violations, v) }
+
+func (r *Result) count(c Condition) {
+	if r.Checks == nil {
+		r.Checks = map[Condition]int{}
+	}
+	r.Checks[c]++
+}
+
+// ViolatedConditions returns the distinct conditions violated.
+func (r *Result) ViolatedConditions() []Condition {
+	seen := map[Condition]bool{}
+	var out []Condition
+	for _, v := range r.Violations {
+		if !seen[v.Condition] {
+			seen[v.Condition] = true
+			out = append(out, v.Condition)
+		}
+	}
+	return out
+}
+
+// Options tunes a randomized check.
+type Options struct {
+	// Trials is the number of random reachable traces to explore.
+	Trials int
+	// StepsPerTrial is how many states along each trace are checked.
+	StepsPerTrial int
+	// Seed makes the exploration reproducible.
+	Seed int64
+	// MaxViolations stops the check early once this many counterexamples
+	// have been collected (0 = 32).
+	MaxViolations int
+	// InputEvery injects a random input each time this many steps pass
+	// while walking a trace (0 = 8).
+	InputEvery int
+	// CheckScheduling enables the scheduling-independence extension.
+	CheckScheduling bool
+	// Colours restricts checking to these colours (nil = all).
+	Colours []model.Colour
+}
+
+// DefaultOptions returns options balanced for CI-speed checking of the
+// SUE-Go kernel configurations used in the test suite.
+func DefaultOptions(seed int64) Options {
+	return Options{Trials: 6, StepsPerTrial: 60, Seed: seed}
+}
+
+func (o *Options) fill() {
+	if o.Trials == 0 {
+		o.Trials = 6
+	}
+	if o.StepsPerTrial == 0 {
+		o.StepsPerTrial = 60
+	}
+	if o.MaxViolations == 0 {
+		o.MaxViolations = 32
+	}
+	if o.InputEvery == 0 {
+		o.InputEvery = 8
+	}
+}
+
+// CheckRandomized verifies the six conditions on randomly sampled
+// reachable states of sys.
+func CheckRandomized(sys model.Perturbable, opt Options) *Result {
+	opt.fill()
+	res := &Result{Checks: map[Condition]int{}}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	colours := opt.Colours
+	if colours == nil {
+		colours = sys.Colours()
+	}
+
+	for trial := 0; trial < opt.Trials; trial++ {
+		sys.Randomize(rng)
+		for step := 0; step < opt.StepsPerTrial; step++ {
+			if len(res.Violations) >= opt.MaxViolations {
+				return res
+			}
+			// Advance the input phase first so that states with freshly
+			// raised device interrupts are among the states checked (the
+			// interrupt-fielding operations are exactly where kernels
+			// historically go wrong, and the paper's motivation for a new
+			// technique).
+			if step%opt.InputEvery == opt.InputEvery-1 {
+				sys.ApplyInput(sys.RandomInput(rng))
+			} else {
+				sys.ApplyInput(nil)
+			}
+
+			c := colours[rng.Intn(len(colours))]
+			checkState(sys, c, rng, res, trial, step, opt)
+
+			sys.Step()
+		}
+	}
+	return res
+}
+
+// checkState verifies every applicable condition for colour c at the
+// system's current state, leaving the system state unchanged.
+func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
+	res *Result, trial, step int, opt Options) {
+
+	s0 := sys.Save()
+	defer sys.Restore(s0)
+
+	active := sys.Colour()
+	op := sys.NextOp()
+	phi0 := sys.Abstract(c)
+
+	if active != c {
+		// Condition 2: an operation on another's behalf must not change
+		// Φc. Single-state check, no perturbation needed.
+		sys.Step()
+		if after := sys.Abstract(c); after != phi0 {
+			res.add(Violation{Condition: Condition2, Colour: c, Op: op,
+				Trial: trial, Step: step,
+				Detail: diffDetail(phi0, after)})
+		}
+		res.count(Condition2)
+		sys.Restore(s0)
+	} else {
+		// Conditions 1 and 6 via a perturbed twin: Φc is preserved by
+		// construction, so the twin must select the same operation and
+		// produce the same abstract successor.
+		sys.Step()
+		phiAfter := sys.Abstract(c)
+		sys.Restore(s0)
+
+		sys.PerturbOutside(c, rng)
+		if got := sys.Abstract(c); got != phi0 {
+			res.add(Violation{Condition: ConditionMeta, Colour: c, Op: op,
+				Trial: trial, Step: step,
+				Detail: "PerturbOutside failed to preserve Φc: " + diffDetail(phi0, got)})
+			res.count(ConditionMeta)
+			return
+		}
+		if sys.Colour() == c {
+			op2 := sys.NextOp()
+			res.count(Condition6)
+			if op2 != op {
+				res.add(Violation{Condition: Condition6, Colour: c, Op: op,
+					Trial: trial, Step: step,
+					Detail: fmt.Sprintf("NEXTOP %q vs %q on Φc-equal states", op, op2)})
+			}
+			sys.Step()
+			res.count(Condition1)
+			if got := sys.Abstract(c); got != phiAfter {
+				res.add(Violation{Condition: Condition1, Colour: c, Op: op,
+					Trial: trial, Step: step,
+					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(phiAfter, got)})
+			}
+		}
+		sys.Restore(s0)
+	}
+
+	// Condition 5: outputs extract equal on Φc-equal states.
+	out0 := sys.ExtractOutput(c, sys.CurrentOutput())
+	sys.PerturbOutside(c, rng)
+	if sys.Abstract(c) == phi0 {
+		res.count(Condition5)
+		if out1 := sys.ExtractOutput(c, sys.CurrentOutput()); out1 != out0 {
+			res.add(Violation{Condition: Condition5, Colour: c, Op: op,
+				Trial: trial, Step: step,
+				Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q", out0, out1)})
+		}
+	}
+	sys.Restore(s0)
+
+	// Condition 3: same input on Φc-equal states.
+	in := sys.RandomInput(rng)
+	sys.ApplyInput(in)
+	phiIn := sys.Abstract(c)
+	sys.Restore(s0)
+	sys.PerturbOutside(c, rng)
+	if sys.Abstract(c) == phi0 {
+		sys.ApplyInput(in)
+		res.count(Condition3)
+		if got := sys.Abstract(c); got != phiIn {
+			res.add(Violation{Condition: Condition3, Colour: c, Op: op,
+				Trial: trial, Step: step,
+				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiIn, got)})
+		}
+	}
+	sys.Restore(s0)
+
+	// Condition 4: inputs with equal c-extract act equally on Φc.
+	in2 := sys.RandomInputMatching(c, in, rng)
+	if sys.ExtractInput(c, in) == sys.ExtractInput(c, in2) {
+		sys.ApplyInput(in2)
+		res.count(Condition4)
+		if got := sys.Abstract(c); got != phiIn {
+			res.add(Violation{Condition: Condition4, Colour: c, Op: op,
+				Trial: trial, Step: step,
+				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiIn, got)})
+		}
+		sys.Restore(s0)
+	}
+
+	// Extension: the scheduling decision after the active colour's own
+	// operation must not depend on state outside that colour.
+	if opt.CheckScheduling && active == c {
+		sys.Step()
+		colAfter := sys.Colour()
+		sys.Restore(s0)
+		sys.PerturbOutside(c, rng)
+		if sys.Abstract(c) == phi0 && sys.Colour() == c {
+			sys.Step()
+			res.count(ConditionSched)
+			if got := sys.Colour(); got != colAfter {
+				res.add(Violation{Condition: ConditionSched, Colour: c, Op: op,
+					Trial: trial, Step: step,
+					Detail: fmt.Sprintf("next active colour %q vs %q after identical op", colAfter, got)})
+			}
+		}
+		sys.Restore(s0)
+	}
+}
+
+// diffDetail renders a compact description of where two Φ encodings differ.
+func diffDetail(a, b string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			lo := i - 24
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 24
+			if hi > len(a) {
+				hi = len(a)
+			}
+			return fmt.Sprintf("first difference at byte %d: %q vs %q", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return "equal (no difference found?)"
+}

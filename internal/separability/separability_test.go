@@ -1,0 +1,107 @@
+package separability_test
+
+import (
+	"testing"
+
+	"repro/internal/separability"
+)
+
+func TestToySecureExhaustivePasses(t *testing.T) {
+	sys := separability.NewToySystem(separability.ToySecure)
+	res := separability.CheckExhaustive(sys, 0)
+	if !res.Passed() {
+		t.Fatalf("secure toy system failed exhaustive check: %s", res.Summary())
+	}
+	// Every condition must actually have been exercised.
+	for c := separability.Condition1; c <= separability.Condition6; c++ {
+		if res.Checks[c] == 0 {
+			t.Errorf("%s was never checked", c)
+		}
+	}
+}
+
+func TestToyVariantsCaughtExhaustive(t *testing.T) {
+	for variant, want := range separability.ToyVariantConditions {
+		name := separability.ToyVariantName(variant)
+		t.Run(name, func(t *testing.T) {
+			sys := separability.NewToySystem(variant)
+			res := separability.CheckExhaustive(sys, 0)
+			if res.Passed() {
+				t.Fatalf("insecure variant %s passed the exhaustive check", name)
+			}
+			found := false
+			for _, got := range res.ViolatedConditions() {
+				if got == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("variant %s: want %s among violations, got %v",
+					name, want, res.ViolatedConditions())
+			}
+		})
+	}
+}
+
+func TestToySecureRandomizedPasses(t *testing.T) {
+	sys := separability.NewToySystem(separability.ToySecure)
+	opt := separability.Options{Trials: 20, StepsPerTrial: 50, Seed: 1}
+	res := separability.CheckRandomized(sys, opt)
+	if !res.Passed() {
+		t.Fatalf("secure toy system failed randomized check: %s", res.Summary())
+	}
+	for _, c := range []separability.Condition{
+		separability.Condition1, separability.Condition2,
+		separability.Condition3, separability.Condition5,
+		separability.Condition6,
+	} {
+		if res.Checks[c] == 0 {
+			t.Errorf("randomized check never exercised %s", c)
+		}
+	}
+}
+
+func TestToyVariantsCaughtRandomized(t *testing.T) {
+	for variant, want := range separability.ToyVariantConditions {
+		name := separability.ToyVariantName(variant)
+		t.Run(name, func(t *testing.T) {
+			sys := separability.NewToySystem(variant)
+			opt := separability.Options{Trials: 40, StepsPerTrial: 60, Seed: 7}
+			res := separability.CheckRandomized(sys, opt)
+			if res.Passed() {
+				t.Fatalf("insecure variant %s passed the randomized check", name)
+			}
+			found := false
+			for _, got := range res.ViolatedConditions() {
+				if got == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("variant %s: want %s among violations, got %v",
+					name, want, res.ViolatedConditions())
+			}
+		})
+	}
+}
+
+func TestResultSummaryFormats(t *testing.T) {
+	sys := separability.NewToySystem(separability.ToySecure)
+	res := separability.CheckExhaustive(sys, 0)
+	if got := res.Summary(); len(got) == 0 || got[:4] != "PASS" {
+		t.Errorf("summary = %q, want PASS...", got)
+	}
+	bad := separability.NewToySystem(separability.ToyDirectWrite)
+	res = separability.CheckExhaustive(bad, 0)
+	if got := res.Summary(); len(got) == 0 || got[:4] != "FAIL" {
+		t.Errorf("summary = %q, want FAIL...", got)
+	}
+}
+
+func TestMaxViolationsStopsEarly(t *testing.T) {
+	bad := separability.NewToySystem(separability.ToyDirectWrite)
+	res := separability.CheckExhaustive(bad, 5)
+	if len(res.Violations) > 5 {
+		t.Errorf("collected %d violations, cap was 5", len(res.Violations))
+	}
+}

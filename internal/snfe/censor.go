@@ -1,0 +1,161 @@
+package snfe
+
+import (
+	"strconv"
+
+	"repro/internal/distsys"
+)
+
+// CensorMode sets how strictly the bypass censor scrubs headers.
+type CensorMode int
+
+// Censor strictness levels, from the paper's "rigid procedural checks on
+// the traffic passing through".
+const (
+	// CensorOff passes the bypass through untouched (no censor box).
+	CensorOff CensorMode = iota
+	// CensorFormat enforces the protocol grammar: only the fields
+	// {type, seq, len} survive, type must be "data", seq must advance by
+	// exactly one (rewritten if not), len must be a number in range.
+	CensorFormat
+	// CensorCanon re-derives every header field from the censor's own
+	// state: seq from its own counter, len quantized to PadQuantum. The
+	// header that leaves the censor carries (almost) no degrees of
+	// freedom chosen by red.
+	CensorCanon
+	// CensorStrict emits only fields computed from the censor's own
+	// counters — no red-chosen information at all crosses the bypass.
+	// This is the flow-free design package ifa certifies (CensorStrictSpec);
+	// the cost is that the receiving side must not depend on the length
+	// field (ours does not: payload lengths are sealed inside the
+	// ciphertext).
+	CensorStrict
+)
+
+// CensorModeName names a mode.
+func CensorModeName(m CensorMode) string {
+	switch m {
+	case CensorOff:
+		return "off"
+	case CensorFormat:
+		return "format"
+	case CensorCanon:
+		return "canonical"
+	case CensorStrict:
+		return "strict"
+	}
+	return "unknown"
+}
+
+// Censor is the one verified software component of the SNFE design. It
+// forwards bypass headers subject to its mode, optionally rate-limited to
+// one header per RateEvery fabric rounds.
+//
+// Ports: in (from red), out (to black).
+type Censor struct {
+	Mode CensorMode
+	// RateEvery > 0 delays forwarding to at most one header per that many
+	// rounds (a bandwidth cap on whatever covert content survives).
+	RateEvery int
+
+	queue    []distsys.Message
+	lastSend uint64
+	seq      int
+	// Dropped counts headers rejected outright.
+	Dropped int
+	// Scrubbed counts fields removed or rewritten.
+	Scrubbed int
+}
+
+// NewCensor creates a censor.
+func NewCensor(mode CensorMode, rateEvery int) *Censor {
+	return &Censor{Mode: mode, RateEvery: rateEvery}
+}
+
+// Name implements distsys.Component.
+func (c *Censor) Name() string { return "censor" }
+
+// Handle implements distsys.Component.
+func (c *Censor) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if port != "in" {
+		return
+	}
+	out, ok := c.scrub(m)
+	if !ok {
+		c.Dropped++
+		return
+	}
+	c.queue = append(c.queue, out)
+	c.pump(ctx)
+}
+
+// Poll implements distsys.Component. Holding queued headers counts as
+// live work even while the rate window is closed, so the fabric does not
+// quiesce with traffic still inside the censor.
+func (c *Censor) Poll(ctx distsys.Context) bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	c.pump(ctx)
+	return true
+}
+
+func (c *Censor) pump(ctx distsys.Context) {
+	for len(c.queue) > 0 {
+		if c.RateEvery > 0 && ctx.Now() < c.lastSend+uint64(c.RateEvery) {
+			return
+		}
+		ctx.Send("out", c.queue[0])
+		c.queue = c.queue[1:]
+		c.lastSend = ctx.Now()
+		if c.RateEvery > 0 {
+			return
+		}
+	}
+}
+
+// scrub applies the mode's checks to one header.
+func (c *Censor) scrub(m distsys.Message) (distsys.Message, bool) {
+	if c.Mode == CensorOff {
+		return m, true
+	}
+	if m.Kind != "hdr" || m.Arg("type") != "data" {
+		return distsys.Message{}, false
+	}
+	l, err := strconv.Atoi(m.Arg("len"))
+	if err != nil || l < 0 || l > 4096 {
+		return distsys.Message{}, false
+	}
+
+	c.seq++
+	out := distsys.Msg("hdr", "type", "data")
+	if len(m.Args) > 3 {
+		c.Scrubbed += len(m.Args) - 3 // fields outside the grammar
+	}
+
+	switch c.Mode {
+	case CensorFormat:
+		// Sequence numbers must advance by exactly one; anything else is
+		// rewritten (recording the scrub).
+		if s, err := strconv.Atoi(m.Arg("seq")); err != nil || s != c.seq {
+			c.Scrubbed++
+		}
+		out.Args["seq"] = strconv.Itoa(c.seq)
+		out.Args["len"] = strconv.Itoa(l)
+	case CensorCanon:
+		// Every field is re-derived: seq from the censor's counter, len
+		// quantized to the crypto's padding bucket.
+		out.Args["seq"] = strconv.Itoa(c.seq)
+		q := ((l + PadQuantum - 1) / PadQuantum) * PadQuantum
+		if q != l {
+			c.Scrubbed++
+		}
+		out.Args["len"] = strconv.Itoa(q)
+	case CensorStrict:
+		// Nothing red chose survives: the header is rebuilt wholesale
+		// from the censor's own counter, and the length field is gone.
+		out.Args["seq"] = strconv.Itoa(c.seq)
+		c.Scrubbed++
+	}
+	return out, true
+}

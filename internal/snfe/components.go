@@ -1,0 +1,341 @@
+package snfe
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/distsys"
+)
+
+// Exfiltration encodings the (malicious) red component may attempt on the
+// cleartext bypass.
+type Exfil int
+
+// Exfil encodings.
+const (
+	// ExfilNone: an honest red component.
+	ExfilNone Exfil = iota
+	// ExfilField smuggles covert bits in an extra header field — the
+	// blatant channel a format check removes.
+	ExfilField
+	// ExfilLenMod encodes one bit per packet in the parity of the
+	// declared payload length (the payload is genuinely padded to match,
+	// so pure format checking does not object).
+	ExfilLenMod
+	// ExfilSeqSkip encodes one bit per packet by advancing the sequence
+	// number by one or two.
+	ExfilSeqSkip
+)
+
+// ExfilName names an encoding.
+func ExfilName(e Exfil) string {
+	switch e {
+	case ExfilNone:
+		return "none"
+	case ExfilField:
+		return "field"
+	case ExfilLenMod:
+		return "len-mod"
+	case ExfilSeqSkip:
+		return "seq-skip"
+	}
+	return "unknown"
+}
+
+// Host is the protected host: it emits cleartext user-data packets.
+//
+// Ports: out (to red).
+type Host struct {
+	Chunks [][]byte
+	sent   int
+}
+
+// NewHost creates a host that will send the given chunks.
+func NewHost(chunks ...[]byte) *Host { return &Host{Chunks: chunks} }
+
+// Name implements distsys.Component.
+func (h *Host) Name() string { return "host" }
+
+// Handle implements distsys.Component.
+func (h *Host) Handle(distsys.Context, string, distsys.Message) {}
+
+// Poll implements distsys.Component.
+func (h *Host) Poll(ctx distsys.Context) bool {
+	if h.sent >= len(h.Chunks) {
+		return false
+	}
+	ctx.Send("out", distsys.Msg("userdata").WithBody(h.Chunks[h.sent]))
+	h.sent++
+	return true
+}
+
+// Red is the host-side protocol component: large, unverified, and in this
+// model actively malicious. For every host packet it forwards the payload
+// to the crypto and a protocol header over the bypass — embedding covert
+// bits per its Exfil mode.
+//
+// Ports: host (in), crypto (out), bypass (out).
+type Red struct {
+	Mode Exfil
+	Bits []int // the covert payload red wants to leak
+	pos  int
+	seq  int
+}
+
+// NewRed creates a red component leaking bits with the given encoding.
+func NewRed(mode Exfil, bits []int) *Red { return &Red{Mode: mode, Bits: bits} }
+
+// Name implements distsys.Component.
+func (r *Red) Name() string { return "red" }
+
+// Poll implements distsys.Component.
+func (r *Red) Poll(distsys.Context) bool { return false }
+
+func (r *Red) nextBit() int {
+	if r.pos >= len(r.Bits) {
+		return 0
+	}
+	b := r.Bits[r.pos]
+	r.pos++
+	return b
+}
+
+// Handle implements distsys.Component.
+func (r *Red) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if port != "host" || m.Kind != "userdata" {
+		return
+	}
+	payload := append([]byte(nil), m.Body...)
+	hdr := distsys.Msg("hdr", "type", "data")
+
+	switch r.Mode {
+	case ExfilNone:
+		r.seq++
+	case ExfilField:
+		r.seq++
+		// Four covert bits per packet, in a field honest protocols lack.
+		v := 0
+		for i := 0; i < 4; i++ {
+			v = v<<1 | r.nextBit()
+		}
+		hdr.Args["xtra"] = fmt.Sprintf("%x", v)
+	case ExfilLenMod:
+		r.seq++
+		// Pad the payload so its length parity is the covert bit; the
+		// declared length stays truthful.
+		bit := r.nextBit()
+		for len(payload)%2 != bit {
+			payload = append(payload, 0)
+		}
+	case ExfilSeqSkip:
+		r.seq += 1 + r.nextBit()
+	}
+
+	hdr.Args["seq"] = strconv.Itoa(r.seq)
+	hdr.Args["len"] = strconv.Itoa(len(payload))
+	ctx.Send("crypto", distsys.Msg("plain", "seq", strconv.Itoa(r.seq)).WithBody(payload))
+	ctx.Send("bypass", hdr)
+}
+
+// BitsConsumed reports how many covert bits red has embedded so far.
+func (r *Red) BitsConsumed() int { return r.pos }
+
+// Crypto is the trusted cipher box between red and black.
+//
+// Ports: in (from red), out (to black).
+type Crypto struct {
+	c *StreamCipher
+}
+
+// NewCrypto creates the box with a key shared with the remote end.
+func NewCrypto(key uint64) *Crypto { return &Crypto{c: NewStreamCipher(key)} }
+
+// Name implements distsys.Component.
+func (cb *Crypto) Name() string { return "crypto" }
+
+// Poll implements distsys.Component.
+func (cb *Crypto) Poll(distsys.Context) bool { return false }
+
+// Handle implements distsys.Component.
+func (cb *Crypto) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if port != "in" || m.Kind != "plain" {
+		return
+	}
+	ct := cb.c.Seal(m.Body)
+	ctx.Send("out", distsys.Msg("ct", "seq", m.Arg("seq")).WithBody(ct))
+}
+
+// Black is the network-side component: it pairs ciphertext from the crypto
+// with headers from the (censored) bypass and emits network frames.
+//
+// Ports: ct (in), hdr (in), net (out).
+type Black struct {
+	cts  []distsys.Message
+	hdrs []distsys.Message
+}
+
+// NewBlack creates the component.
+func NewBlack() *Black { return &Black{} }
+
+// Name implements distsys.Component.
+func (b *Black) Name() string { return "black" }
+
+// Handle implements distsys.Component.
+func (b *Black) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	switch port {
+	case "ct":
+		b.cts = append(b.cts, m)
+	case "hdr":
+		b.hdrs = append(b.hdrs, m)
+	}
+	b.emit(ctx)
+}
+
+// Poll implements distsys.Component.
+func (b *Black) Poll(ctx distsys.Context) bool {
+	if len(b.cts) > 0 && len(b.hdrs) > 0 {
+		b.emit(ctx)
+		return true
+	}
+	return false
+}
+
+func (b *Black) emit(ctx distsys.Context) {
+	for len(b.cts) > 0 && len(b.hdrs) > 0 {
+		ct, hdr := b.cts[0], b.hdrs[0]
+		b.cts, b.hdrs = b.cts[1:], b.hdrs[1:]
+		frame := distsys.Msg("frame").WithBody(ct.Body)
+		for k, v := range hdr.Args {
+			frame.Args[k] = v
+		}
+		ctx.Send("net", frame)
+	}
+}
+
+// Frame is one captured network frame.
+type Frame struct {
+	Args map[string]string
+	Body []byte
+}
+
+// NetSink is the network: it records every frame. It doubles as the remote
+// trusted end (it can decrypt with the shared key) and as the adversary's
+// observation point (the frames' headers are cleartext).
+//
+// Ports: in.
+type NetSink struct {
+	Frames []Frame
+	c      *StreamCipher
+}
+
+// NewNetSink creates the sink holding the remote key.
+func NewNetSink(key uint64) *NetSink { return &NetSink{c: NewStreamCipher(key)} }
+
+// Name implements distsys.Component.
+func (n *NetSink) Name() string { return "net" }
+
+// Poll implements distsys.Component.
+func (n *NetSink) Poll(distsys.Context) bool { return false }
+
+// Handle implements distsys.Component.
+func (n *NetSink) Handle(_ distsys.Context, port string, m distsys.Message) {
+	if port != "in" || m.Kind != "frame" {
+		return
+	}
+	args := map[string]string{}
+	for k, v := range m.Args {
+		args[k] = v
+	}
+	n.Frames = append(n.Frames, Frame{Args: args, Body: append([]byte(nil), m.Body...)})
+}
+
+// RecoverChunks decrypts the frames in order as the remote trusted end
+// would, returning one cleartext chunk per frame.
+func (n *NetSink) RecoverChunks() ([][]byte, bool) {
+	n.c.Reset()
+	var out [][]byte
+	for _, f := range n.Frames {
+		data, ok := n.c.Open(f.Body)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, data)
+	}
+	return out, true
+}
+
+// CleartextLeaked scans frame headers and bodies for a cleartext needle —
+// the SNFE's core requirement is that user data never appears.
+func (n *NetSink) CleartextLeaked(needle string) bool {
+	for _, f := range n.Frames {
+		if containsBytes(f.Body, []byte(needle)) {
+			return true
+		}
+		for _, v := range f.Args {
+			if containsBytes([]byte(v), []byte(needle)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsBytes(h, n []byte) bool {
+	if len(n) == 0 || len(h) < len(n) {
+		return false
+	}
+	for i := 0; i+len(n) <= len(h); i++ {
+		match := true
+		for j := range n {
+			if h[i+j] != n[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// DecodeCovert is the bypass adversary: knowing the encoding, it recovers
+// covert bits from the captured frame headers.
+func (n *NetSink) DecodeCovert(mode Exfil, nbits int) []int {
+	var bits []int
+	prevSeq := 0
+	for _, f := range n.Frames {
+		if len(bits) >= nbits {
+			break
+		}
+		switch mode {
+		case ExfilField:
+			if x, err := strconv.ParseUint(f.Args["xtra"], 16, 8); err == nil {
+				for i := 3; i >= 0; i-- {
+					bits = append(bits, int(x>>i)&1)
+				}
+			} else {
+				bits = append(bits, 0, 0, 0, 0) // stripped: guess zeros
+			}
+		case ExfilLenMod:
+			l, err := strconv.Atoi(f.Args["len"])
+			if err != nil {
+				bits = append(bits, 0)
+				continue
+			}
+			bits = append(bits, l%2)
+		case ExfilSeqSkip:
+			s, err := strconv.Atoi(f.Args["seq"])
+			if err != nil {
+				bits = append(bits, 0)
+				continue
+			}
+			bits = append(bits, s-prevSeq-1)
+			prevSeq = s
+		}
+	}
+	if len(bits) > nbits {
+		bits = bits[:nbits]
+	}
+	return bits
+}

@@ -1,0 +1,174 @@
+package snfe
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/covert"
+	"repro/internal/distsys"
+)
+
+// Config parameterizes one SNFE run.
+type Config struct {
+	Mode      Exfil
+	Censor    CensorMode
+	RateEvery int
+	// Packets is how many user-data packets the host sends.
+	Packets int
+	// Key is the end-to-end cipher key.
+	Key uint64
+	// Seed generates the covert bitstring.
+	Seed uint64
+}
+
+// System is one wired SNFE instance.
+type System struct {
+	Fabric *distsys.Fabric
+	Host   *Host
+	Red    *Red
+	Censor *Censor
+	Net    *NetSink
+	sent   [][]byte
+	bits   []int
+}
+
+// Build wires the SNFE: host → red → {crypto, censor} → black → net,
+// exactly the paper's four boxes plus host and network.
+func Build(cfg Config) (*System, error) {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 64
+	}
+	if cfg.Key == 0 {
+		cfg.Key = 0x0123456789ABCDEF
+	}
+	// Payload chunks avoid trailing zeros so ExfilLenMod padding can be
+	// compared by prefix; each chunk carries a recognizable needle.
+	var chunks [][]byte
+	for i := 0; i < cfg.Packets; i++ {
+		chunks = append(chunks, []byte(fmt.Sprintf("SECRET-user-data-%03d", i)))
+	}
+	// Enough covert bits for the hungriest encoding (4 bits/packet).
+	bits := covert.Bitstring(cfg.Seed, cfg.Packets*4)
+
+	f := distsys.New(distsys.KernelHosted)
+	sys := &System{
+		Fabric: f,
+		Host:   NewHost(chunks...),
+		Red:    NewRed(cfg.Mode, bits),
+		Censor: NewCensor(cfg.Censor, cfg.RateEvery),
+		Net:    NewNetSink(cfg.Key),
+		sent:   chunks,
+		bits:   bits,
+	}
+	crypto := NewCrypto(cfg.Key)
+	black := NewBlack()
+	for _, c := range []distsys.Component{sys.Host, sys.Red, crypto, sys.Censor, black, sys.Net} {
+		if err := f.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	wires := [][2]string{
+		{"host:out", "red:host"},
+		{"red:crypto", "crypto:in"},
+		{"crypto:out", "black:ct"},
+		{"red:bypass", "censor:in"},
+		{"censor:out", "black:hdr"},
+		{"black:net", "net:in"},
+	}
+	for _, w := range wires {
+		if err := f.Connect(w[0], w[1], 4096); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Config Config
+	// Delivered reports whether the legitimate user data made it through
+	// end to end (the SNFE must still function under censorship).
+	Delivered bool
+	// Leaked reports whether raw cleartext appeared on the network.
+	Leaked bool
+	// Covert is the bypass covert-channel measurement.
+	Covert covert.Measurement
+	// Scrubbed and Dropped are the censor's counters.
+	Scrubbed int
+	Dropped  int
+	Rounds   int
+}
+
+// Run executes the experiment to quiescence.
+func Run(cfg Config) (*Result, error) {
+	sys, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rounds := sys.Fabric.Run(cfg.Packets*(cfg.RateEvery+20) + 2000)
+
+	res := &Result{Config: cfg, Rounds: rounds,
+		Scrubbed: sys.Censor.Scrubbed, Dropped: sys.Censor.Dropped}
+
+	// Functional check: the remote end recovers every user-data chunk
+	// (modulo red's parity padding, which is trailing zeros per chunk).
+	chunks, ok := sys.Net.RecoverChunks()
+	res.Delivered = ok && len(chunks) == len(sys.sent)
+	if res.Delivered {
+		for i, want := range sys.sent {
+			got := bytes.TrimRight(chunks[i], "\x00")
+			if !bytes.Equal(got, want) {
+				res.Delivered = false
+				break
+			}
+		}
+	}
+
+	// Security check 1: no raw cleartext on the wire.
+	res.Leaked = sys.Net.CleartextLeaked("SECRET-user-data")
+
+	// Security check 2: residual bypass bandwidth.
+	consumed := sys.Red.BitsConsumed()
+	if consumed > 0 {
+		decoded := sys.Net.DecodeCovert(cfg.Mode, consumed)
+		res.Covert = covert.Measure(sys.bits[:consumed], decoded, rounds)
+	}
+	return res, nil
+}
+
+// SweepRow is one line of the E4 table.
+type SweepRow struct {
+	Encoding  string
+	Censor    string
+	RateEvery int
+	Result    *Result
+}
+
+// Sweep runs the full E4 matrix: every exfiltration encoding against every
+// censor mode (plus a rate-limited canonical censor).
+func Sweep(packets int) ([]SweepRow, error) {
+	var rows []SweepRow
+	type cen struct {
+		mode CensorMode
+		rate int
+	}
+	censors := []cen{{CensorOff, 0}, {CensorFormat, 0}, {CensorCanon, 0}, {CensorStrict, 0}, {CensorCanon, 8}}
+	for _, mode := range []Exfil{ExfilField, ExfilLenMod, ExfilSeqSkip} {
+		for _, cz := range censors {
+			res, err := Run(Config{
+				Mode: mode, Censor: cz.mode, RateEvery: cz.rate,
+				Packets: packets, Seed: 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SweepRow{
+				Encoding:  ExfilName(mode),
+				Censor:    CensorModeName(cz.mode),
+				RateEvery: cz.rate,
+				Result:    res,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,200 @@
+package snfe_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/snfe"
+)
+
+func TestCipherRoundTrip(t *testing.T) {
+	prop := func(data []byte, key uint64) bool {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		enc := snfe.NewStreamCipher(key)
+		dec := snfe.NewStreamCipher(key)
+		ct := enc.Seal(data)
+		if len(ct)%snfe.PadQuantum != 0 {
+			return false
+		}
+		pt, ok := dec.Open(ct)
+		return ok && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCipherHidesPlaintext(t *testing.T) {
+	c := snfe.NewStreamCipher(42)
+	data := []byte("SECRET-user-data-attack-at-dawn")
+	ct := c.Seal(data)
+	if bytes.Contains(ct, []byte("SECRET")) {
+		t.Error("ciphertext contains plaintext")
+	}
+}
+
+func TestHonestSNFEDeliversWithoutLeaking(t *testing.T) {
+	res, err := snfe.Run(snfe.Config{Mode: snfe.ExfilNone, Censor: snfe.CensorOff, Packets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Error("honest SNFE failed to deliver user data")
+	}
+	if res.Leaked {
+		t.Error("honest SNFE leaked cleartext")
+	}
+}
+
+func TestSNFEStillDeliversUnderEveryCensor(t *testing.T) {
+	for _, mode := range []snfe.CensorMode{snfe.CensorOff, snfe.CensorFormat, snfe.CensorCanon} {
+		for _, exfil := range []snfe.Exfil{snfe.ExfilNone, snfe.ExfilField, snfe.ExfilLenMod, snfe.ExfilSeqSkip} {
+			res, err := snfe.Run(snfe.Config{Mode: exfil, Censor: mode, Packets: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Delivered {
+				t.Errorf("censor=%s exfil=%s: user data not delivered",
+					snfe.CensorModeName(mode), snfe.ExfilName(exfil))
+			}
+			if res.Leaked {
+				t.Errorf("censor=%s exfil=%s: raw cleartext leaked",
+					snfe.CensorModeName(mode), snfe.ExfilName(exfil))
+			}
+		}
+	}
+}
+
+func TestFieldChannelWideOpenWithoutCensor(t *testing.T) {
+	res, err := snfe.Run(snfe.Config{Mode: snfe.ExfilField, Censor: snfe.CensorOff, Packets: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covert.ErrorRate > 0.01 {
+		t.Errorf("uncensored field channel error rate %.2f, want ~0", res.Covert.ErrorRate)
+	}
+	if res.Covert.CapacityPerSymbol < 0.99 {
+		t.Errorf("uncensored field channel capacity %.2f, want ~1", res.Covert.CapacityPerSymbol)
+	}
+}
+
+func TestFormatCensorKillsFieldAndSeqChannels(t *testing.T) {
+	for _, exfil := range []snfe.Exfil{snfe.ExfilField, snfe.ExfilSeqSkip} {
+		res, err := snfe.Run(snfe.Config{Mode: exfil, Censor: snfe.CensorFormat, Packets: 48, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Covert.CapacityPerSymbol > 0.15 {
+			t.Errorf("%s under format censor: residual capacity %.3f b/sym, want ~0",
+				snfe.ExfilName(exfil), res.Covert.CapacityPerSymbol)
+		}
+	}
+}
+
+func TestLenModSurvivesFormatButNotCanonical(t *testing.T) {
+	fmtRes, err := snfe.Run(snfe.Config{Mode: snfe.ExfilLenMod, Censor: snfe.CensorFormat, Packets: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmtRes.Covert.CapacityPerSymbol < 0.9 {
+		t.Errorf("len-mod under format censor should survive (truthful lengths); capacity %.3f",
+			fmtRes.Covert.CapacityPerSymbol)
+	}
+	canonRes, err := snfe.Run(snfe.Config{Mode: snfe.ExfilLenMod, Censor: snfe.CensorCanon, Packets: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRes.Covert.CapacityPerSymbol > 0.15 {
+		t.Errorf("len-mod under canonical censor: residual capacity %.3f, want ~0",
+			canonRes.Covert.CapacityPerSymbol)
+	}
+}
+
+func TestRateLimitSlowsResidualChannel(t *testing.T) {
+	fast, err := snfe.Run(snfe.Config{Mode: snfe.ExfilField, Censor: snfe.CensorOff, Packets: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := snfe.Run(snfe.Config{Mode: snfe.ExfilField, Censor: snfe.CensorOff, RateEvery: 16, Packets: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Covert.BitsPerRound >= fast.Covert.BitsPerRound {
+		t.Errorf("rate limiting did not slow the channel: %.4f vs %.4f b/round",
+			slow.Covert.BitsPerRound, fast.Covert.BitsPerRound)
+	}
+	if !slow.Delivered {
+		t.Error("rate-limited SNFE must still deliver user data")
+	}
+}
+
+func TestCensorCountsScrubs(t *testing.T) {
+	res, err := snfe.Run(snfe.Config{Mode: snfe.ExfilField, Censor: snfe.CensorFormat, Packets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scrubbed == 0 {
+		t.Error("format censor scrubbed nothing while red was smuggling fields")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rows, err := snfe.Sweep(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("sweep produced %d rows, want 15", len(rows))
+	}
+	// The paper's claim, as a shape: for every encoding, the best censor
+	// reduces capacity far below the uncensored channel.
+	byEnc := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byEnc[r.Encoding] == nil {
+			byEnc[r.Encoding] = map[string]float64{}
+		}
+		key := r.Censor
+		if r.RateEvery > 0 {
+			key += "+rate"
+		}
+		byEnc[r.Encoding][key] = r.Result.Covert.CapacityPerSymbol
+		if !r.Result.Delivered {
+			t.Errorf("%s/%s: user data lost", r.Encoding, key)
+		}
+	}
+	for enc, caps := range byEnc {
+		open := caps["off"]
+		best := caps["canonical"]
+		if caps["canonical+rate"] < best {
+			best = caps["canonical+rate"]
+		}
+		if open < 0.9 {
+			t.Errorf("%s: uncensored capacity %.3f, expected ~1", enc, open)
+		}
+		if best > 0.15 {
+			t.Errorf("%s: best censor leaves capacity %.3f, expected ~0", enc, best)
+		}
+		if caps["strict"] > 0.15 {
+			t.Errorf("%s: strict censor leaves capacity %.3f, expected ~0", enc, caps["strict"])
+		}
+	}
+}
+
+func TestStrictCensorKillsEverythingAndStillDelivers(t *testing.T) {
+	for _, exfil := range []snfe.Exfil{snfe.ExfilField, snfe.ExfilLenMod, snfe.ExfilSeqSkip} {
+		res, err := snfe.Run(snfe.Config{Mode: exfil, Censor: snfe.CensorStrict, Packets: 48, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			t.Errorf("%s under strict censor: user data not delivered", snfe.ExfilName(exfil))
+		}
+		if res.Covert.CapacityPerSymbol > 0.15 {
+			t.Errorf("%s under strict censor: residual capacity %.3f",
+				snfe.ExfilName(exfil), res.Covert.CapacityPerSymbol)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package terminal implements the private single-user machine of the
+// paper's idealized system: "each user is given his own private,
+// physically isolated, single-user machine and a dedicated communication
+// line to a common, shared file-server."
+//
+// A Terminal runs a script of user actions, one outstanding request at a
+// time, and records the replies. Because a terminal is private to its
+// user, it is *not* a trusted component: the security of the overall
+// system must never depend on what a terminal does.
+package terminal
+
+import (
+	"strings"
+
+	"repro/internal/distsys"
+)
+
+// Action is one scripted user step. Target selects the service wire
+// ("auth", "fs" or "ps"); the message is sent verbatim except that an
+// "id" argument of "$last" is replaced by the most recent spool id the
+// terminal was granted.
+type Action struct {
+	Target string
+	Msg    distsys.Message
+}
+
+// Convenience constructors for the common script steps.
+
+// Login authenticates as user/password.
+func Login(user, pass string) Action {
+	return Action{Target: "auth", Msg: distsys.Msg("login", "user", user, "pass", pass)}
+}
+
+// Create makes a file at the user's current level.
+func Create(name string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("create", "name", name)}
+}
+
+// Write stores data in a file.
+func Write(name, data string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("write", "name", name).WithBody([]byte(data))}
+}
+
+// Read fetches a file.
+func Read(name string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("read", "name", name)}
+}
+
+// Delete removes a file.
+func Delete(name string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("delete", "name", name)}
+}
+
+// List asks for the visible directory.
+func List() Action {
+	return Action{Target: "fs", Msg: distsys.Msg("list")}
+}
+
+// SetLevel changes the user's working level (compact label encoding).
+func SetLevel(compact string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("setlevel", "level", compact)}
+}
+
+// Spool copies a file into the spool area.
+func Spool(name string) Action {
+	return Action{Target: "fs", Msg: distsys.Msg("spool", "name", name)}
+}
+
+// PrintLast submits the most recently spooled file to the printer-server.
+func PrintLast() Action {
+	return Action{Target: "ps", Msg: distsys.Msg("print", "id", "$last")}
+}
+
+// Terminal is the scripted user-machine component.
+//
+// Ports: auth/fs/ps (out) and auth_re/fs_re/ps_re (in).
+type Terminal struct {
+	name    string
+	script  []Action
+	pos     int
+	waiting bool
+
+	lastSpool  string
+	Transcript []string
+}
+
+// New creates a terminal that will run the script.
+func New(name string, script ...Action) *Terminal {
+	return &Terminal{name: name, script: script}
+}
+
+// Name implements distsys.Component.
+func (t *Terminal) Name() string { return t.name }
+
+// Done reports whether the script has fully executed.
+func (t *Terminal) Done() bool { return t.pos >= len(t.script) && !t.waiting }
+
+// Poll implements distsys.Component: issue the next scripted request.
+func (t *Terminal) Poll(ctx distsys.Context) bool {
+	if t.waiting || t.pos >= len(t.script) {
+		return false
+	}
+	a := t.script[t.pos]
+	t.pos++
+	m := a.Msg.Clone()
+	if m.Arg("id") == "$last" {
+		m.Args["id"] = t.lastSpool
+	}
+	ctx.Send(a.Target, m)
+	t.waiting = true
+	return true
+}
+
+// Handle implements distsys.Component: record the reply and unblock.
+func (t *Terminal) Handle(ctx distsys.Context, port string, m distsys.Message) {
+	if !strings.HasSuffix(port, "_re") {
+		return
+	}
+	if m.Kind == "spooled" {
+		t.lastSpool = m.Arg("id")
+	}
+	t.Transcript = append(t.Transcript, m.Canonical())
+	t.waiting = false
+}
+
+// Replies returns the transcript entries whose kind matches.
+func (t *Terminal) Replies(kind string) []string {
+	var out []string
+	for _, line := range t.Transcript {
+		if strings.HasPrefix(line, kind+" ") || line == kind {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// Errors returns the err replies received.
+func (t *Terminal) Errors() []string { return t.Replies("err") }

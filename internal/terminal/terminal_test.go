@@ -1,0 +1,83 @@
+package terminal_test
+
+import (
+	"testing"
+
+	"repro/internal/distsys"
+	"repro/internal/terminal"
+)
+
+func TestScriptRunsOneRequestAtATime(t *testing.T) {
+	term := terminal.New("t",
+		terminal.Login("u", "p"),
+		terminal.Create("f"),
+	)
+	rec := &distsys.Recorder{}
+
+	if !term.Poll(rec) {
+		t.Fatal("first poll idle")
+	}
+	if term.Poll(rec) {
+		t.Error("second request issued before first reply")
+	}
+	if len(rec.Sent) != 1 || rec.Sent[0].Port != "auth" {
+		t.Fatalf("sent = %v", rec.Sent)
+	}
+	term.Handle(rec, "auth_re", distsys.Msg("welcome", "user", "u"))
+	if !term.Poll(rec) {
+		t.Fatal("script stalled after reply")
+	}
+	if rec.Sent[1].Port != "fs" || rec.Sent[1].Msg.Kind != "create" {
+		t.Errorf("second send = %v", rec.Sent[1])
+	}
+	term.Handle(rec, "fs_re", distsys.Msg("ok"))
+	if !term.Done() {
+		t.Error("script not done")
+	}
+	if term.Poll(rec) {
+		t.Error("poll after completion")
+	}
+}
+
+func TestSpoolIDSubstitution(t *testing.T) {
+	term := terminal.New("t",
+		terminal.Spool("memo"),
+		terminal.PrintLast(),
+	)
+	rec := &distsys.Recorder{}
+	term.Poll(rec)
+	term.Handle(rec, "fs_re", distsys.Msg("spooled", "id", "spool/t/3"))
+	term.Poll(rec)
+	if got := rec.Sent[1].Msg.Arg("id"); got != "spool/t/3" {
+		t.Errorf("substituted id = %q", got)
+	}
+}
+
+func TestTranscriptAndFilters(t *testing.T) {
+	term := terminal.New("t", terminal.Read("f"))
+	rec := &distsys.Recorder{}
+	term.Poll(rec)
+	term.Handle(rec, "fs_re", distsys.Msg("err", "why", "no such file"))
+	if len(term.Transcript) != 1 {
+		t.Fatalf("transcript = %v", term.Transcript)
+	}
+	if errs := term.Errors(); len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+	if oks := term.Replies("ok"); len(oks) != 0 {
+		t.Errorf("ok replies = %v", oks)
+	}
+}
+
+func TestNonReplyPortsIgnored(t *testing.T) {
+	term := terminal.New("t", terminal.Read("f"))
+	rec := &distsys.Recorder{}
+	term.Poll(rec)
+	term.Handle(rec, "somewhere", distsys.Msg("noise"))
+	if len(term.Transcript) != 0 {
+		t.Error("noise recorded")
+	}
+	if term.Done() {
+		t.Error("noise unblocked the script")
+	}
+}

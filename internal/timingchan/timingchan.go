@@ -1,0 +1,172 @@
+// Package timingchan builds a scheduling/timing covert channel on the real
+// SUE-Go kernel — the channel the paper's model deliberately permits.
+//
+// The paper scopes it out explicitly: "Because the whole system is
+// dedicated to a single function, 'denial of service' is not a security
+// problem (although it is clearly a reliability issue)" (§3). Under
+// round-robin-until-voluntary-SWAP scheduling, a sender regime can
+// modulate how long it holds the CPU; a receiver regime that owns a clock
+// device observes the gaps between its own turns and decodes bits — with
+// no shared memory, no channels, and no kernel bug.
+//
+// The package's tests measure the channel (it works, reliably) and then
+// run Proof of Separability over the very same system (it PASSES): an
+// executable, quantitative demonstration of where the six conditions'
+// guarantee ends. The scheduling-independence extension in package
+// separability does not catch it either — correctly, because the kernel's
+// *decision* sequence is untainted; it is the wall-clock duration of the
+// sender's turns that carries the bits, and wall-clock time is outside
+// the model.
+package timingchan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/covert"
+	"repro/internal/machine"
+)
+
+// senderSrc modulates CPU hold time per bit: a long busy loop for 1, an
+// immediate yield for 0. The bit table is assembled into its partition.
+func senderSrc(bits []int, busy int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+	.org 0x40
+	.equ NBITS, %d
+start:
+	MOV #0, R4          ; bit index
+	TRAP #SWAP          ; let the receiver take its clock baseline first
+loop:
+	CMP #NBITS, R4
+	BEQ done
+	MOV R4, R3
+	ADD #bits, R3
+	MOV (R3), R2        ; the bit
+	CMP #1, R2
+	BNE yield
+	MOV #%d, R3         ; bit 1: hold the CPU
+busy:
+	SUB #1, R3
+	BNE busy
+yield:
+	ADD #1, R4
+	TRAP #SWAP
+	BR loop
+done:
+	TRAP #SWAP
+	BR done
+bits:
+`, len(bits), busy)
+	for _, bit := range bits {
+		fmt.Fprintf(&b, "\t.word %d\n", bit)
+	}
+	return b.String()
+}
+
+// receiverSrc samples its clock's free-running counter once per scheduling
+// turn; a large delta means the sender held the CPU. Decoded bits land at
+// virtual 0x200+i.
+func receiverSrc(nbits, threshold int) string {
+	return fmt.Sprintf(`
+	.org 0x40
+	.equ NBITS, %d
+	.equ THRESH, %d
+start:
+	MOV @DEV0+1, R5     ; clock COUNT baseline
+	MOV #0, R4          ; bit index
+	TRAP #SWAP          ; align with the sender's first turn
+loop:
+	CMP #NBITS, R4
+	BEQ done
+	MOV @DEV0+1, R2
+	MOV R2, R3
+	SUB R5, R3          ; delta since our last turn
+	MOV R2, R5
+	MOV #0, R1
+	CMP #THRESH, R3     ; THRESH - delta
+	BGT store           ; THRESH > delta: short gap: bit 0
+	MOV #1, R1
+store:
+	MOV R4, R0
+	ADD #0x200, R0
+	MOV R1, (R0)
+	ADD #1, R4
+	TRAP #SWAP
+	BR loop
+done:
+	MOV #1, @0x100      ; completion flag
+	TRAP #SWAP
+	BR done
+`, nbits, threshold)
+}
+
+// Result reports one timing-channel run.
+type Result struct {
+	Sent     []int
+	Decoded  []int
+	Covert   covert.Measurement
+	Finished bool
+}
+
+// Run builds the two-regime system (no channels!), runs it, and decodes.
+// busy is the sender's hold-loop length for a 1 bit; threshold the
+// receiver's decision boundary in clock ticks.
+func Run(nbits int, seed uint64, busy, threshold int) (*Result, *core.System, error) {
+	bits := covert.Bitstring(seed, nbits)
+	clk := machine.NewClock("clk", 1) // the receiver's wall clock
+	sys, err := core.NewBuilder().
+		RegimeSized("sender", senderSrc(bits, busy), 0x400).
+		RegimeSized("receiver", receiverSrc(nbits, threshold), 0x400, clk).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	cycles := nbits*(busy*2+64) + 4000
+	sys.Run(cycles)
+	if sys.Kernel.Dead() {
+		return nil, nil, fmt.Errorf("timingchan: kernel died: %v", sys.Kernel.Cause)
+	}
+	res := &Result{Sent: bits}
+	if flag, _ := sys.RegimeWord("receiver", 0x100); flag == 1 {
+		res.Finished = true
+	}
+	for i := 0; i < nbits; i++ {
+		v, _ := sys.RegimeWord("receiver", machine.Word(0x200+i))
+		res.Decoded = append(res.Decoded, int(v))
+	}
+	res.Covert = covert.Measure(bits, res.Decoded, int(sys.Machine.Cycles()))
+	return res, sys, nil
+}
+
+// RunFixed is Run with the kernel's fixed-slice scheduling enabled: every
+// rotation takes the same wall-clock time regardless of the sender's
+// behaviour, so the receiver's deltas carry (nearly) nothing.
+func RunFixed(nbits int, seed uint64, busy, threshold, slice int) (*Result, *core.System, error) {
+	bits := covert.Bitstring(seed, nbits)
+	clk := machine.NewClock("clk", 1)
+	sys, err := core.NewBuilder().
+		RegimeSized("sender", senderSrc(bits, busy), 0x400).
+		RegimeSized("receiver", receiverSrc(nbits, threshold), 0x400, clk).
+		WithFixedSlice(slice).
+		Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	cycles := nbits*slice*4 + 8000
+	sys.Run(cycles)
+	if sys.Kernel.Dead() {
+		return nil, nil, fmt.Errorf("timingchan: kernel died: %v", sys.Kernel.Cause)
+	}
+	res := &Result{Sent: bits}
+	if flag, _ := sys.RegimeWord("receiver", 0x100); flag == 1 {
+		res.Finished = true
+	}
+	for i := 0; i < nbits; i++ {
+		v, _ := sys.RegimeWord("receiver", machine.Word(0x200+i))
+		res.Decoded = append(res.Decoded, int(v))
+	}
+	res.Covert = covert.Measure(bits, res.Decoded, int(sys.Machine.Cycles()))
+	return res, sys, nil
+}

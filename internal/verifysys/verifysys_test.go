@@ -1,0 +1,88 @@
+package verifysys_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/verifysys"
+)
+
+func TestBuildBootsAndRuns(t *testing.T) {
+	sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.K
+	k.Run(5000)
+	if k.Dead() {
+		t.Fatalf("kernel died: %v", k.Cause)
+	}
+	// Worker and peer must be alive and progressing.
+	for _, name := range []string{"worker", "peer"} {
+		i := k.RegimeIndex(name)
+		if st := k.RegimeStateOf(i); st != kernel.StateRunnable {
+			t.Errorf("%s state = %d", name, st)
+		}
+		if v, _ := k.ReadRegimeMem(i, 0x20); v == 0 {
+			t.Errorf("%s made no progress", name)
+		}
+	}
+}
+
+func TestProbesDieOnHonestKernel(t *testing.T) {
+	for _, probe := range []struct{ name, src string }{
+		{"scratch", verifysys.ProbeScratch},
+		{"overlap", verifysys.ProbeOverlap},
+		{"combined", verifysys.ProbeCombined},
+	} {
+		sys, err := verifysys.Build(probe.src, kernel.Leaks{}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.K.Run(5000)
+		i := sys.K.RegimeIndex("probe")
+		if st := sys.K.RegimeStateOf(i); st != kernel.StateDead {
+			t.Errorf("probe %q survived the honest kernel (state %d)", probe.name, st)
+		}
+	}
+}
+
+func TestProbesSurviveTheirLeak(t *testing.T) {
+	cases := []struct {
+		name  string
+		leaks kernel.Leaks
+	}{
+		{"scratch", kernel.Leaks{SharedScratch: true}},
+		{"overlap", kernel.Leaks{PartitionOverlap: true}},
+	}
+	for _, c := range cases {
+		sys, err := verifysys.Build(verifysys.ProbeFor(c.leaks), c.leaks, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.K.Run(5000)
+		i := sys.K.RegimeIndex("probe")
+		if st := sys.K.RegimeStateOf(i); st != kernel.StateRunnable {
+			t.Errorf("probe for %s died under its own leak: %+v",
+				c.name, sys.K.RegimeFault(i))
+		}
+	}
+}
+
+func TestProbeForSelection(t *testing.T) {
+	if verifysys.ProbeFor(kernel.Leaks{SharedScratch: true}) != verifysys.ProbeScratch {
+		t.Error("scratch leak should select the scratch probe")
+	}
+	if verifysys.ProbeFor(kernel.Leaks{PartitionOverlap: true}) != verifysys.ProbeOverlap {
+		t.Error("overlap leak should select the overlap probe")
+	}
+	if verifysys.ProbeFor(kernel.Leaks{RegisterLeak: true}) != verifysys.ProbePlain {
+		t.Error("other leaks should select the plain probe")
+	}
+}
+
+func TestBadProbeRejected(t *testing.T) {
+	if _, err := verifysys.Build("NOT ASSEMBLY", kernel.Leaks{}, true); err == nil {
+		t.Error("unassemblable probe accepted")
+	}
+}

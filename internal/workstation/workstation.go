@@ -1,0 +1,115 @@
+// Package workstation assembles the paper's section-2 multilevel secure
+// system: user terminals on private machines, a shared multilevel
+// file-server, a printer-server, and an authentication service — all
+// joined by dedicated wires and nothing else. The same assembly runs under
+// either distsys deployment, which is the substance of experiment E7.
+package workstation
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/distsys"
+	"repro/internal/fileserver"
+	"repro/internal/mls"
+	"repro/internal/printserver"
+	"repro/internal/terminal"
+)
+
+// User declares one user of the system.
+type User struct {
+	Name      string
+	Password  string
+	Clearance mls.Label
+	Script    []terminal.Action
+}
+
+// System is one assembled workstation.
+type System struct {
+	Fabric    *distsys.Fabric
+	Auth      *auth.Service
+	Files     *fileserver.Server
+	Printer   *printserver.Server
+	Terminals map[string]*terminal.Terminal
+}
+
+// Build wires the full system for the given deployment.
+//
+// Wire plan (every line dedicated and unidirectional, per the paper):
+//
+//	terminal <-> auth        (login)
+//	terminal <-> file-server (file requests)
+//	terminal <-> printer     (print requests)
+//	auth      -> file-server (clearance announcements)
+//	auth      -> printer     (clearance announcements)
+//	printer  <-> file-server (spool special services)
+func Build(deploy distsys.Deployment, users []User) (*System, error) {
+	f := distsys.New(deploy)
+	a := auth.New("auth", "fs", "ps")
+	fs := fileserver.New("fs")
+	ps := printserver.New("ps")
+	sys := &System{Fabric: f, Auth: a, Files: fs, Printer: ps,
+		Terminals: map[string]*terminal.Terminal{}}
+
+	for _, c := range []distsys.Component{a, fs, ps} {
+		if err := f.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.Connect("auth:server_fs", "fs:auth", 64); err != nil {
+		return nil, err
+	}
+	if err := f.Connect("auth:server_ps", "ps:auth", 64); err != nil {
+		return nil, err
+	}
+	if err := f.Connect("ps:fs", "fs:printer", 64); err != nil {
+		return nil, err
+	}
+	if err := f.Connect("fs:re_printer", "ps:fsin", 64); err != nil {
+		return nil, err
+	}
+
+	for _, u := range users {
+		a.Register(u.Name, u.Password, u.Clearance)
+		t := terminal.New(u.Name, u.Script...)
+		sys.Terminals[u.Name] = t
+		if err := f.Add(t); err != nil {
+			return nil, err
+		}
+		wires := [][2]string{
+			{u.Name + ":auth", fmt.Sprintf("auth:term_%s", u.Name)},
+			{fmt.Sprintf("auth:re_term_%s", u.Name), u.Name + ":auth_re"},
+			{u.Name + ":fs", fmt.Sprintf("fs:user_%s", u.Name)},
+			{fmt.Sprintf("fs:re_user_%s", u.Name), u.Name + ":fs_re"},
+			{u.Name + ":ps", fmt.Sprintf("ps:user_%s", u.Name)},
+			{fmt.Sprintf("ps:re_user_%s", u.Name), u.Name + ":ps_re"},
+		}
+		for _, w := range wires {
+			if err := f.Connect(w[0], w[1], 64); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sys, nil
+}
+
+// Run drives the system until every terminal script completes and the
+// servers quiesce, up to max rounds. It reports rounds executed.
+func (s *System) Run(max int) int {
+	for i := 0; i < max; i++ {
+		progress := s.Fabric.StepRound()
+		if !progress && s.allDone() {
+			return i
+		}
+	}
+	return max
+}
+
+func (s *System) allDone() bool {
+	for _, t := range s.Terminals {
+		if !t.Done() {
+			return false
+		}
+	}
+	return s.Printer.QueueLength() == 0
+}

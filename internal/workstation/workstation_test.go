@@ -1,0 +1,388 @@
+package workstation_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distsys"
+	"repro/internal/mls"
+	"repro/internal/terminal"
+	"repro/internal/workstation"
+)
+
+func lowHighUsers() []workstation.User {
+	return []workstation.User{
+		{
+			Name: "lois", Password: "pw-lois", Clearance: mls.L(mls.Unclassified),
+			Script: []terminal.Action{
+				terminal.Login("lois", "pw-lois"),
+				terminal.Create("notes"),
+				terminal.Write("notes", "unclassified notes"),
+				terminal.Read("notes"),
+				terminal.List(),
+			},
+		},
+		{
+			Name: "hank", Password: "pw-hank", Clearance: mls.L(mls.Secret),
+			Script: []terminal.Action{
+				terminal.Login("hank", "pw-hank"),
+				terminal.Create("plans"),
+				terminal.Write("plans", "secret plans"),
+				terminal.Read("notes"), // read-down: allowed
+				terminal.List(),
+			},
+		},
+	}
+}
+
+func TestLoginAndBasicFileOps(t *testing.T) {
+	sys, err := workstation.Build(distsys.Physical, lowHighUsers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(500)
+	lois := sys.Terminals["lois"]
+	if !lois.Done() {
+		t.Fatalf("lois's script did not finish: %v", lois.Transcript)
+	}
+	if errs := lois.Errors(); len(errs) != 0 {
+		t.Errorf("lois got errors: %v", errs)
+	}
+	// Her read must return her own data.
+	found := false
+	for _, line := range lois.Replies("data") {
+		if strings.Contains(line, "unclassified notes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lois's read did not return her data: %v", lois.Transcript)
+	}
+}
+
+func TestReadDownAllowedReadUpDenied(t *testing.T) {
+	users := lowHighUsers()
+	// Lois additionally tries to read hank's SECRET file.
+	users[0].Script = append(users[0].Script, terminal.Read("plans"))
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(800)
+
+	hank := sys.Terminals["hank"]
+	ok := false
+	for _, line := range hank.Replies("data") {
+		if strings.Contains(line, "unclassified notes") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("hank's read-down failed: %v", hank.Transcript)
+	}
+
+	lois := sys.Terminals["lois"]
+	denied := false
+	for _, line := range lois.Errors() {
+		if strings.Contains(line, "ss-property") {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Errorf("lois's read-up was not denied by the ss-property: %v", lois.Transcript)
+	}
+}
+
+func TestWriteDownDenied(t *testing.T) {
+	users := lowHighUsers()
+	// Hank (SECRET) tries to scribble on lois's UNCLASSIFIED file.
+	users[1].Script = append(users[1].Script, terminal.Write("notes", "leak!"))
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(800)
+	hank := sys.Terminals["hank"]
+	denied := false
+	for _, line := range hank.Errors() {
+		if strings.Contains(line, "*-property") {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Errorf("hank's write-down was not denied: %v", hank.Transcript)
+	}
+}
+
+func TestUnauthenticatedUserRejected(t *testing.T) {
+	users := []workstation.User{{
+		Name: "mallory", Password: "x", Clearance: mls.L(mls.Unclassified),
+		Script: []terminal.Action{
+			// No login: straight to the file-server.
+			terminal.Create("sneaky"),
+		},
+	}}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200)
+	m := sys.Terminals["mallory"]
+	if errs := m.Errors(); len(errs) == 0 || !strings.Contains(errs[0], "not authenticated") {
+		t.Errorf("unauthenticated request not rejected: %v", m.Transcript)
+	}
+}
+
+func TestBadPasswordDenied(t *testing.T) {
+	users := []workstation.User{{
+		Name: "eve", Password: "right", Clearance: mls.L(mls.Secret),
+		Script: []terminal.Action{
+			terminal.Login("eve", "wrong"),
+		},
+	}}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200)
+	e := sys.Terminals["eve"]
+	if got := e.Replies("denied"); len(got) != 1 {
+		t.Errorf("bad password not denied: %v", e.Transcript)
+	}
+	if _, fails := sys.Auth.Stats(); fails != 1 {
+		t.Errorf("failure counter = %d, want 1", fails)
+	}
+}
+
+// The full print path: spool, print, banner classification, spool cleanup —
+// WITHOUT any trusted process, which is experiment E5's distributed side.
+func TestPrintPathDeletesSpoolWithoutTrustedProcess(t *testing.T) {
+	users := []workstation.User{{
+		Name: "lois", Password: "pw", Clearance: mls.L(mls.Unclassified),
+		Script: []terminal.Action{
+			terminal.Login("lois", "pw"),
+			terminal.Create("memo"),
+			terminal.Write("memo", "please print me"),
+			terminal.Spool("memo"),
+			terminal.PrintLast(),
+		},
+	}, {
+		Name: "hank", Password: "pw2", Clearance: mls.L(mls.Secret),
+		Script: []terminal.Action{
+			terminal.Login("hank", "pw2"),
+			terminal.Create("battle"),
+			terminal.Write("battle", "secret battle plan"),
+			terminal.Spool("battle"),
+			terminal.PrintLast(),
+		},
+	}}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+
+	if got := sys.Printer.JobsPrinted(); got != 2 {
+		t.Fatalf("jobs printed = %d, want 2 (lois: %v, hank: %v)", got,
+			sys.Terminals["lois"].Transcript, sys.Terminals["hank"].Transcript)
+	}
+	if err := sys.Printer.CheckJobSeparation(); err != nil {
+		t.Errorf("job separation violated: %v", err)
+	}
+	// Banners carry the job's classification.
+	var banners []string
+	for _, p := range sys.Printer.Printed() {
+		if p.Kind == "banner" {
+			banners = append(banners, p.Text)
+		}
+	}
+	wantLabels := map[string]bool{"UNCLASSIFIED": false, "SECRET": false}
+	for _, b := range banners {
+		for lbl := range wantLabels {
+			if strings.Contains(b, lbl) {
+				wantLabels[lbl] = true
+			}
+		}
+	}
+	for lbl, seen := range wantLabels {
+		if !seen {
+			t.Errorf("no banner carries %s: %v", lbl, banners)
+		}
+	}
+	// The spool files are gone: deletion needed no *-property violation
+	// anywhere, because the file-server's special service is scoped to the
+	// spool area.
+	if got := sys.Files.SpoolCount(); got != 0 {
+		t.Errorf("spool files remaining = %d, want 0", got)
+	}
+	// And no trusted-process escape hatch was ever used.
+	if got := sys.Files.Monitor().TrustedUses(); got != 0 {
+		t.Errorf("trusted-process uses = %d, want 0", got)
+	}
+}
+
+func TestUserCannotPrintOthersSpool(t *testing.T) {
+	users := []workstation.User{{
+		Name: "hank", Password: "pw", Clearance: mls.L(mls.Secret),
+		Script: []terminal.Action{
+			terminal.Login("hank", "pw"),
+			terminal.Create("battle"),
+			terminal.Write("battle", "secret"),
+			terminal.Spool("battle"),
+		},
+	}, {
+		Name: "lois", Password: "pw2", Clearance: mls.L(mls.Unclassified),
+		Script: []terminal.Action{
+			terminal.Login("lois", "pw2"),
+			// Try to print hank's first spool file by guessing its id.
+			{Target: "ps", Msg: distsys.Msg("print", "id", "spool/hank/1")},
+		},
+	}}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1000)
+	lois := sys.Terminals["lois"]
+	denied := false
+	for _, e := range lois.Errors() {
+		if strings.Contains(e, "not your spool") {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Errorf("cross-user print not denied: %v", lois.Transcript)
+	}
+}
+
+// E7: the same system, same scripts, run under the physical and the
+// kernel-hosted deployments; every component's per-port observations are
+// identical.
+func TestDeploymentIndistinguishability(t *testing.T) {
+	build := func(d distsys.Deployment) *workstation.System {
+		sys, err := workstation.Build(d, lowHighUsers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(2000)
+		return sys
+	}
+	phys := build(distsys.Physical)
+	hosted := build(distsys.KernelHosted)
+	for _, comp := range []string{"lois", "hank", "auth", "fs", "ps"} {
+		if ok, why := distsys.PerPortTracesEqual(phys.Fabric, hosted.Fabric, comp); !ok {
+			t.Errorf("deployments distinguishable at %q: %s", comp, why)
+		}
+	}
+}
+
+// Category compartments flow through the whole stack: a SECRET{crypto}
+// user and a SECRET{nuclear} user are mutually unreadable even at the
+// same level, and a SECRET{crypto,nuclear} user reads both.
+func TestCategoryCompartments(t *testing.T) {
+	const crypto, nuclear = 0, 1
+	users := []workstation.User{
+		{Name: "carol", Password: "c", Clearance: mls.L(mls.Secret, crypto),
+			Script: []terminal.Action{
+				terminal.Login("carol", "c"),
+				terminal.Create("keys"),
+				terminal.Write("keys", "crypto keys"),
+			}},
+		{Name: "ned", Password: "n", Clearance: mls.L(mls.Secret, nuclear),
+			Script: []terminal.Action{
+				terminal.Login("ned", "n"),
+				terminal.Create("yields"),
+				terminal.Write("yields", "nuclear yields"),
+				terminal.Read("keys"), // cross-compartment: denied
+			}},
+		{Name: "boss", Password: "b", Clearance: mls.L(mls.Secret, crypto, nuclear),
+			Script: []terminal.Action{
+				terminal.Login("boss", "b"),
+				terminal.Read("keys"),
+				terminal.Read("yields"),
+				terminal.List(),
+			}},
+	}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+
+	ned := sys.Terminals["ned"]
+	denied := false
+	for _, e := range ned.Errors() {
+		if strings.Contains(e, "ss-property") {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Errorf("cross-compartment read was not denied: %v", ned.Transcript)
+	}
+	boss := sys.Terminals["boss"]
+	if errs := boss.Errors(); len(errs) != 0 {
+		t.Errorf("boss (both compartments) hit errors: %v", errs)
+	}
+	// Both reads were GRANTED (content may trail the create in a
+	// distributed run; the verdict is what the compartments control).
+	reads := 0
+	for _, line := range boss.Replies("data") {
+		if strings.Contains(line, `name="keys"`) || strings.Contains(line, `name="yields"`) {
+			reads++
+		}
+	}
+	if reads != 2 {
+		t.Errorf("boss read %d compartmented files, want 2: %v", reads, boss.Transcript)
+	}
+	// The boss's listing shows both files; ned's world is smaller.
+	var bossList string
+	for _, l := range boss.Replies("listing") {
+		bossList += l
+	}
+	if !strings.Contains(bossList, "keys") || !strings.Contains(bossList, "yields") {
+		t.Errorf("boss listing incomplete: %q", bossList)
+	}
+}
+
+// Terminals that lower their level mid-session create at the lowered
+// label and lose sight of higher files — the current-level machinery end
+// to end.
+func TestSetLevelEndToEnd(t *testing.T) {
+	users := []workstation.User{
+		{Name: "hank", Password: "h", Clearance: mls.L(mls.Secret),
+			Script: []terminal.Action{
+				terminal.Login("hank", "h"),
+				terminal.Create("high-doc"),
+				terminal.SetLevel(mls.L(mls.Unclassified).Compact()),
+				terminal.Create("public-doc"),
+				terminal.Read("high-doc"), // above current level now
+				terminal.List(),
+			}},
+	}
+	sys, err := workstation.Build(distsys.Physical, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2000)
+
+	if lbl, ok := sys.Files.FileLabel("public-doc"); !ok || lbl.Level != mls.Unclassified {
+		t.Errorf("public-doc label = %v ok=%v", lbl, ok)
+	}
+	hank := sys.Terminals["hank"]
+	denied := false
+	for _, e := range hank.Errors() {
+		if strings.Contains(e, "ss-property") {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Errorf("read above current level was not denied: %v", hank.Transcript)
+	}
+	var listing string
+	for _, l := range hank.Replies("listing") {
+		listing += l
+	}
+	if strings.Contains(listing, "high-doc") {
+		t.Errorf("lowered session still lists high-doc: %q", listing)
+	}
+}

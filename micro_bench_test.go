@@ -1,0 +1,150 @@
+package repro
+
+// Micro-benchmarks for the substrate: raw costs of the machine simulator,
+// snapshots, the kernel's abstraction function and the assembler. These
+// document where the verification tooling's time goes (Abstract dominates
+// randomized checking; snapshots dominate Save/Restore).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/verifysys"
+)
+
+func BenchmarkMicroInstructionALU(b *testing.B) {
+	m := machine.New(0x1000)
+	im := asm.MustAssemble(`
+		.org 0x100
+	loop:
+		ADD #1, R0
+		XOR R0, R1
+		BR loop
+	`)
+	m.LoadImage(im.Org, im.Words)
+	m.SetPC(im.Org)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func BenchmarkMicroInstructionMemory(b *testing.B) {
+	m := machine.New(0x1000)
+	im := asm.MustAssemble(`
+		.org 0x100
+	loop:
+		MOV @0x300, R0
+		MOV R0, @0x302
+		BR loop
+	`)
+	m.LoadImage(im.Org, im.Words)
+	m.SetPC(im.Org)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func BenchmarkMicroTrapRoundTrip(b *testing.B) {
+	m := machine.New(0x1000)
+	im := asm.MustAssemble(`
+		.org 0x100
+		MOV #handler, @0x0C
+		MOV #0x00E0, @0x0D
+	loop:
+		TRAP #1
+		BR loop
+	handler:
+		RTI
+	`)
+	m.LoadImage(im.Org, im.Words)
+	m.SetPC(im.Org)
+	m.SetReg(machine.RegSP, 0x800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func BenchmarkMicroSnapshot(b *testing.B) {
+	m := machine.New(0x2000)
+	tty := machine.NewTTY("t", 1)
+	m.Attach(tty)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Snapshot()
+		_ = s
+	}
+}
+
+func BenchmarkMicroSnapshotRestore(b *testing.B) {
+	m := machine.New(0x2000)
+	s := m.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Restore(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSnapshotHash(b *testing.B) {
+	m := machine.New(0x2000)
+	s := m.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Hash()
+	}
+}
+
+func BenchmarkMicroAbstract(b *testing.B) {
+	sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.K.Run(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Abstract("worker")
+	}
+}
+
+func BenchmarkMicroPerturb(b *testing.B) {
+	sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.K.Run(500)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.PerturbOutside("worker", rng)
+	}
+}
+
+func BenchmarkMicroAssemble(b *testing.B) {
+	src := kernel.Prelude + verifysys.WorkerSrc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroKernelBoot(b *testing.B) {
+	sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.K.Boot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

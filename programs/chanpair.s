@@ -1,0 +1,23 @@
+; chanpair.s — sends its counter on channel 0 and drains channel 1.
+; Pair two of these with:
+;   seprun -chan 0:1 -chan 1:0 programs/chanpair.s programs/chanpair.s
+	.org 0x40
+start:
+	TRAP #WHOAMI         ; R0 = my regime index (0 or 1)
+	MOV R0, R5           ; my send channel = my index
+	MOV #1, R4
+	SUB R0, R4           ; my receive channel = the other one
+	MOV #0, R2
+loop:
+	ADD #1, R2
+	MOV R5, R0
+	MOV R2, R1
+	TRAP #SEND
+	MOV R4, R0
+	TRAP #RECV
+	CMP #1, R0
+	BNE yield
+	MOV R1, @0x20        ; publish the peer's latest counter
+yield:
+	TRAP #SWAP
+	BR loop

@@ -1,0 +1,9 @@
+; counter.s — the minimal cooperative regime: count, publish, yield.
+	.org 0x40
+start:
+	MOV #0, R2
+loop:
+	ADD #1, R2
+	MOV R2, @0x20        ; publish progress at virtual 0x20
+	TRAP #SWAP
+	BR loop

@@ -1,0 +1,15 @@
+; echo.s — a regime that owns a TTY (device 0) and echoes input bytes,
+; interrupt-driven. Run on SUE-Go via the core builder, or inspect with:
+;   go run ./cmd/sepasm -kernel programs/echo.s
+	.org 0x40
+start:
+	MOV #isr, @0x10      ; install the handler for owned device 0
+	MOV #0x40, @DEV0     ; enable receiver interrupts
+	TRAP #IRQON
+idle:
+	TRAP #WAITIRQ
+	BR idle
+isr:
+	MOV @DEV0+1, R1      ; read RDATA
+	MOV R1, @DEV0+3      ; write XDATA
+	RTI
