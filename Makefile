@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: verify race test bench
+
+# Tier-1 gate: vet, build, full test suite.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent verification engine and the
+# kernel adapter it replicates.
+race:
+	$(GO) test -race ./internal/separability/... ./internal/kernel/...
+
+test:
+	$(GO) test ./...
+
+# Experiment benchmarks (E1..E10); see EXPERIMENTS.md.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'

@@ -13,8 +13,10 @@ package repro
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/baseline"
@@ -403,6 +405,44 @@ func BenchmarkE8ConditionChecking(b *testing.B) {
 	}
 	b.ReportMetric(float64(caught), "leaks-caught")
 	b.ReportMetric(float64(expected), "leaks-planted")
+}
+
+// BenchmarkE8ConditionCheckingParallel — the E8 workload with trials
+// sharded across worker goroutines, each checking a private replica of the
+// kernel system. Reports the serial/parallel wall-clock ratio as speedup-x
+// (bounded by the host's core count — on a single-core host it is ~1.0)
+// and asserts the two engines produce byte-identical summaries.
+func BenchmarkE8ConditionCheckingParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	opt := separability.Options{
+		Trials: 16, StepsPerTrial: 100, Seed: 99, CheckScheduling: true,
+	}
+	check := func(workers int) (*separability.Result, time.Duration) {
+		sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opt
+		o.Workers = workers
+		start := time.Now()
+		res := separability.CheckRandomized(sys, o)
+		return res, time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		sRes, sDur := check(1)
+		pRes, pDur := check(workers)
+		serial += sDur
+		parallel += pDur
+		if sRes.Summary() != pRes.Summary() {
+			b.Fatalf("parallel summary diverged from serial:\n  %s\n  %s",
+				sRes.Summary(), pRes.Summary())
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+	if parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-x")
+	}
 }
 
 // BenchmarkE9KernelOverhead — paper §3: running the distributed system on

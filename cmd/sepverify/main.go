@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/kernel"
@@ -30,6 +31,8 @@ func main() {
 	steps := flag.Int("steps", 100, "states checked per trace")
 	seed := flag.Int64("seed", 1, "exploration seed")
 	sched := flag.Bool("sched", true, "include the scheduling-independence extension")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"checker goroutines to shard trials across (results are identical for any value)")
 	exhaustive := flag.Bool("exhaustive", false,
 		"run the exhaustive proofs (MiniSUE + toy calibration) instead of the kernel check")
 	flag.Parse()
@@ -42,12 +45,13 @@ func main() {
 	}
 
 	if *exhaustive {
-		runExhaustive()
+		runExhaustive(*workers)
 		return
 	}
 
 	opt := separability.Options{
 		Trials: *trials, StepsPerTrial: *steps, Seed: *seed, CheckScheduling: *sched,
+		Workers: *workers,
 	}
 
 	if *all {
@@ -119,11 +123,11 @@ func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options,
 
 // runExhaustive performs the explicit-state proofs: the full MiniSUE state
 // space and the toy-system calibration suite.
-func runExhaustive() {
+func runExhaustive(workers int) {
 	fmt.Println("exhaustive proof over MiniSUE (a kernel-shaped model, ~74k states x 4 inputs):")
 	for _, v := range []minisue.Variant{minisue.Secure, minisue.RegisterLeak,
 		minisue.InterruptMisroute, minisue.SharedCell} {
-		res := separability.CheckExhaustive(minisue.New(v), 8)
+		res := separability.CheckExhaustiveWorkers(minisue.New(v), 8, workers)
 		fmt.Printf("  %-20s %s\n", minisue.VariantName(v)+":", res.Summary())
 	}
 	fmt.Println("\ncalibration toys (1024 states x 4 inputs, one condition violated each):")
@@ -132,7 +136,7 @@ func runExhaustive() {
 		separability.ToyInputSnoop, separability.ToyInputCross,
 		separability.ToyOutputLeak, separability.ToyNextOpLeak}
 	for _, v := range variants {
-		res := separability.CheckExhaustive(separability.NewToySystem(v), 4)
+		res := separability.CheckExhaustiveWorkers(separability.NewToySystem(v), 4, workers)
 		fmt.Printf("  %-20s %s\n", separability.ToyVariantName(v)+":", res.Summary())
 	}
 }

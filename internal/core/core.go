@@ -162,6 +162,9 @@ type VerifyOptions struct {
 	StepsPerTrial   int
 	Seed            int64
 	CheckScheduling bool
+	// Workers shards trials across checker goroutines, each on a replica
+	// of the system (0 or 1 = single-threaded; results are identical).
+	Workers int
 }
 
 // Verify runs Proof of Separability against the system (rebooting it as
@@ -172,6 +175,7 @@ func (s *System) Verify(opt VerifyOptions) *separability.Result {
 		StepsPerTrial:   opt.StepsPerTrial,
 		Seed:            opt.Seed,
 		CheckScheduling: opt.CheckScheduling,
+		Workers:         opt.Workers,
 	}
 	return separability.CheckRandomized(s.Adapter, o)
 }

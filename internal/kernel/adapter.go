@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -177,9 +178,19 @@ func (a *Adapter) CurrentOutput() model.Output {
 	return ov
 }
 
+// phiSink is the common subset of strings.Builder and model.Digest64 that
+// the Φ renderer writes through: feeding the identical byte stream to
+// either guarantees AbstractDigest is exactly the FNV-1a hash of the
+// string Abstract returns.
+type phiSink interface {
+	io.Writer
+	WriteString(s string) (int, error)
+	WriteByte(b byte) error
+}
+
 // hexWord appends a word as four hex digits without fmt overhead (Abstract
 // is the hot path of randomized checking).
-func hexWord(b *strings.Builder, w Word) {
+func hexWord(b phiSink, w Word) {
 	const digits = "0123456789abcdef"
 	b.WriteByte(digits[w>>12&0xF])
 	b.WriteByte(digits[w>>8&0xF])
@@ -189,29 +200,47 @@ func hexWord(b *strings.Builder, w Word) {
 
 // Abstract implements model.SharedSystem: Φ^c as a canonical string.
 func (a *Adapter) Abstract(c model.Colour) string {
+	var b strings.Builder
+	a.renderPhi(c, &b)
+	return b.String()
+}
+
+// AbstractDigest implements model.Digester: the FNV-1a 64-bit digest of
+// the canonical Φ^c encoding, streamed without materializing the string.
+// This is the comparison the checkers' hot paths use; both views render
+// through the same code path, so they hash the same bytes by construction.
+func (a *Adapter) AbstractDigest(c model.Colour) uint64 {
+	d := model.NewDigest64()
+	a.renderPhi(c, d)
+	return d.Sum64()
+}
+
+// renderPhi writes the canonical Φ^c encoding of the current state into b.
+func (a *Adapter) renderPhi(c model.Colour, b phiSink) {
 	k := a.K
 	i := k.RegimeIndex(string(c))
 	if i < 0 {
-		return ""
+		return
 	}
-	var b strings.Builder
 	r := k.cfg.Regimes[i]
 
 	// Register file and control state, as the regime would observe it.
 	for reg := 0; reg < 6; reg++ {
-		fmt.Fprintf(&b, "r%d=%04x;", reg, k.RegimeReg(i, reg))
+		fmt.Fprintf(b, "r%d=%04x;", reg, k.RegimeReg(i, reg))
 	}
-	fmt.Fprintf(&b, "sp=%04x;pc=%04x;cc=%x;", k.RegimeReg(i, machine.RegSP),
+	fmt.Fprintf(b, "sp=%04x;pc=%04x;cc=%x;", k.RegimeReg(i, machine.RegSP),
 		k.RegimeReg(i, machine.RegPC), k.RegimePSW(i))
 	sb := saveBase(i)
-	fmt.Fprintf(&b, "st=%x;pend=%04x;ipl=%x;", k.m.ReadPhys(sb+saveState),
+	fmt.Fprintf(b, "st=%x;pend=%04x;ipl=%x;", k.m.ReadPhys(sb+saveState),
 		k.m.ReadPhys(sb+savePending), k.m.ReadPhys(sb+saveIPL))
 
 	// The partition, word by word.
-	b.Grow(int(r.Size)*4 + 64)
+	if builder, ok := b.(*strings.Builder); ok {
+		builder.Grow(int(r.Size)*4 + 64)
+	}
 	b.WriteString("mem=")
 	for off := Word(0); off < r.Size; off++ {
-		hexWord(&b, k.m.ReadPhys(r.Base+off))
+		hexWord(b, k.m.ReadPhys(r.Base+off))
 	}
 	b.WriteByte(';')
 
@@ -221,7 +250,7 @@ func (a *Adapter) Abstract(c model.Colour) string {
 		b.WriteString(d.Name())
 		b.WriteByte('=')
 		for _, w := range d.SnapshotState() {
-			hexWord(&b, w)
+			hexWord(b, w)
 		}
 		b.WriteByte(';')
 	}
@@ -233,28 +262,27 @@ func (a *Adapter) Abstract(c model.Colour) string {
 		switch string(c) {
 		case ch.From:
 			// The sender observes only the free space.
-			fmt.Fprintf(&b, "ch:%s:free=%d;", ch.Name, capa-k.m.ReadPhys(base+2))
+			fmt.Fprintf(b, "ch:%s:free=%d;", ch.Name, capa-k.m.ReadPhys(base+2))
 		case ch.To:
 			if k.cfg.CutChannels {
 				cnt := k.m.ReadPhys(base + 6)
 				head := k.m.ReadPhys(base + 4)
-				fmt.Fprintf(&b, "ch:%s:rd=%d:", ch.Name, cnt)
+				fmt.Fprintf(b, "ch:%s:rd=%d:", ch.Name, cnt)
 				for j := Word(0); j < cnt; j++ {
-					hexWord(&b, k.m.ReadPhys(base+8+capa+(head+j)%capa))
+					hexWord(b, k.m.ReadPhys(base+8+capa+(head+j)%capa))
 				}
 				b.WriteByte(';')
 			} else {
 				cnt := k.m.ReadPhys(base + 2)
 				head := k.m.ReadPhys(base + 0)
-				fmt.Fprintf(&b, "ch:%s:rd=%d:", ch.Name, cnt)
+				fmt.Fprintf(b, "ch:%s:rd=%d:", ch.Name, cnt)
 				for j := Word(0); j < cnt; j++ {
-					hexWord(&b, k.m.ReadPhys(base+8+(head+j)%capa))
+					hexWord(b, k.m.ReadPhys(base+8+(head+j)%capa))
 				}
 				b.WriteByte(';')
 			}
 		}
 	}
-	return b.String()
 }
 
 // ExtractInput implements model.SharedSystem.
@@ -300,6 +328,64 @@ func (a *Adapter) ExtractOutput(c model.Colour, o model.Output) string {
 		b.WriteByte(';')
 	}
 	return b.String()
+}
+
+// Clone implements model.Replicable: it builds a fresh machine carrying
+// replicas of every attached device, binds an identically configured
+// kernel to it, and copies the current architectural state across via a
+// snapshot, yielding a fully independent system for a parallel checker
+// worker. Returns nil when any attached device cannot be replicated (link
+// endpoints are wired to shared environment state, so systems using them
+// fall back to single-threaded checking).
+func (a *Adapter) Clone() model.SharedSystem {
+	k := a.K
+	m2 := machine.New(k.m.RAMWords())
+	devByName := map[string]machine.Device{}
+	for _, d := range k.m.Devices() {
+		rep, ok := d.(machine.Replicator)
+		if !ok {
+			return nil
+		}
+		nd := rep.Replicate()
+		if nd == nil {
+			return nil
+		}
+		// Attaching in bus order reproduces register blocks and vectors.
+		m2.Attach(nd)
+		devByName[nd.Name()] = nd
+	}
+
+	cfg := k.cfg
+	cfg.Regimes = append([]RegimeSpec(nil), k.cfg.Regimes...)
+	for ri := range cfg.Regimes {
+		r := &cfg.Regimes[ri]
+		devs := make([]machine.Device, len(r.Devices))
+		for di, d := range r.Devices {
+			devs[di] = devByName[d.Name()]
+		}
+		r.Devices = devs
+	}
+	cfg.Channels = append([]ChannelSpec(nil), k.cfg.Channels...)
+
+	k2, err := New(m2, cfg)
+	if err != nil {
+		return nil
+	}
+	// Boot initializes the kernel's bookkeeping (fault/instruction
+	// counters) and proves the configuration loads; the snapshot restore
+	// then overwrites the booted state with the original's current state.
+	if err := k2.Boot(); err != nil {
+		return nil
+	}
+	if err := m2.Restore(k.m.Snapshot()); err != nil {
+		return nil
+	}
+	k2.dead = k.dead
+	k2.Cause = k.Cause
+
+	a2 := NewAdapter(k2)
+	a2.PerturbWords = a.PerturbWords
+	return a2
 }
 
 // --- Perturbable ---

@@ -24,6 +24,13 @@ func NewClock(name string, interval int) *Clock {
 	return &Clock{name: name, interval: interval, left: interval, prio: 6}
 }
 
+// Replicate implements Replicator.
+func (c *Clock) Replicate() Device {
+	n := NewClock(c.name, c.interval)
+	n.prio = c.prio
+	return n
+}
+
 // Name implements Device.
 func (c *Clock) Name() string { return c.name }
 

@@ -32,6 +32,21 @@ type Device interface {
 	RestoreState(ws []Word)
 }
 
+// Replicator is implemented by devices that can manufacture a fresh,
+// power-on copy of themselves with the same configuration (name, rates,
+// priority). Replication is what lets a whole machine be cloned for
+// parallel verification: the clone attaches replicas in the original bus
+// order and then restores a Snapshot over them, which carries the dynamic
+// state across. Devices wired to shared environment state (link endpoints)
+// deliberately do not implement Replicator — a replica could not share the
+// wire without coupling the clone to the original.
+type Replicator interface {
+	Device
+	// Replicate returns the power-on copy, or nil if this instance cannot
+	// be replicated.
+	Replicate() Device
+}
+
 // InputSink is implemented by devices that accept stimuli from the outside
 // world (the model's INPUT function delivers to these).
 type InputSink interface {

@@ -25,6 +25,13 @@ func NewPrinter(name string, rate int) *Printer {
 	return &Printer{name: name, rate: rate, prio: 4}
 }
 
+// Replicate implements Replicator.
+func (p *Printer) Replicate() Device {
+	n := NewPrinter(p.name, p.rate)
+	n.prio = p.prio
+	return n
+}
+
 // Name implements Device.
 func (p *Printer) Name() string { return p.name }
 

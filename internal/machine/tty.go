@@ -48,6 +48,15 @@ func NewTTY(name string, rate int) *TTY {
 	return &TTY{name: name, rxRate: rate, txRate: rate, prio: 4}
 }
 
+// Replicate implements Replicator.
+func (t *TTY) Replicate() Device {
+	n := NewTTY(t.name, 1)
+	n.rxRate = t.rxRate
+	n.txRate = t.txRate
+	n.prio = t.prio
+	return n
+}
+
 // Name implements Device.
 func (t *TTY) Name() string { return t.name }
 

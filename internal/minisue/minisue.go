@@ -89,6 +89,13 @@ type System struct {
 // New creates a MiniSUE in its boot state.
 func New(v Variant) *System { return &System{Variant: v} }
 
+// Clone implements model.Replicable: the whole machine state is one value,
+// so a copy of the System is an independent replica.
+func (m *System) Clone() model.SharedSystem {
+	c := *m
+	return &c
+}
+
 // Colours implements model.SharedSystem.
 func (m *System) Colours() []model.Colour {
 	return append([]model.Colour(nil), Colours...)

@@ -2,19 +2,50 @@ package separability
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
+
+// stateInfo is the per-state precomputation the exhaustive checker works
+// from: Φ digests and extracts for every colour, before and after the
+// state's operation and after every enumerated input. Colours and inputs
+// are indexed positionally (dense slices, not maps): the precompute sweep
+// over states×inputs is the dominant cost of exhaustive checking and maps
+// were both slower and allocation-heavy.
+type stateInfo struct {
+	ref    model.StateRef
+	colour model.Colour
+	op     model.OpID
+	phi    []uint64   // Φc(s) digest, per colour index
+	phiOp  []uint64   // Φc(op(s)) digest, per colour index
+	outEx  []string   // EXTRACT(c, OUTPUT(s)), per colour index
+	phiIn  [][]uint64 // [input][colour] Φc(INPUT(s,i)) digest
+	inEx   [][]string // [input][colour] EXTRACT(c, i)
+}
 
 // CheckExhaustive verifies the six conditions universally over every state
 // and input an Enumerable system yields. For a system whose enumerator
 // covers its whole (reachable) state space this constitutes a proof of
 // separability by explicit-state model checking.
+//
+// When the system implements model.Replicable, the per-state precomputation
+// and the per-colour condition passes are sharded across GOMAXPROCS worker
+// goroutines, each on a private replica; the result is identical to the
+// single-threaded check. Use CheckExhaustiveWorkers to pin the worker
+// count.
 func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
+	return CheckExhaustiveWorkers(sys, maxViolations, runtime.GOMAXPROCS(0))
+}
+
+// CheckExhaustiveWorkers is CheckExhaustive with an explicit worker count
+// (<=1 = single-threaded). Results are identical for every worker count.
+func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *Result {
 	if maxViolations <= 0 {
 		maxViolations = 64
 	}
-	res := &Result{Checks: map[Condition]int{}}
 
 	var states []model.StateRef
 	sys.EnumerateStates(func(s model.StateRef) bool {
@@ -26,69 +57,256 @@ func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
 		inputs = append(inputs, i)
 		return true
 	})
-
-	type stateInfo struct {
-		ref    model.StateRef
-		colour model.Colour
-		op     model.OpID
-		phi    map[model.Colour]string // Φc(s)
-		phiOp  map[model.Colour]string // Φc(op(s))
-		outEx  map[model.Colour]string // EXTRACT(c, OUTPUT(s))
-		phiIn  []map[model.Colour]string
-		inEx   []map[model.Colour]string // EXTRACT(c, i) per input
-	}
-
 	colours := sys.Colours()
-	infos := make([]*stateInfo, 0, len(states))
-	for _, ref := range states {
-		sys.Restore(ref)
-		info := &stateInfo{
-			ref:    ref,
-			colour: sys.Colour(),
-			op:     sys.NextOp(),
-			phi:    map[model.Colour]string{},
-			phiOp:  map[model.Colour]string{},
-			outEx:  map[model.Colour]string{},
-		}
-		out := sys.CurrentOutput()
-		for _, c := range colours {
-			info.phi[c] = sys.Abstract(c)
-			info.outEx[c] = sys.ExtractOutput(c, out)
-		}
-		sys.Step()
-		for _, c := range colours {
-			info.phiOp[c] = sys.Abstract(c)
-		}
-		for ii, in := range inputs {
-			sys.Restore(ref)
-			phiIn := map[model.Colour]string{}
-			inEx := map[model.Colour]string{}
-			for _, c := range colours {
-				inEx[c] = sys.ExtractInput(c, in)
-			}
-			sys.ApplyInput(in)
-			for _, c := range colours {
-				phiIn[c] = sys.Abstract(c)
-			}
-			info.phiIn = append(info.phiIn, phiIn)
-			info.inEx = append(info.inEx, inEx)
-			_ = ii
-		}
-		infos = append(infos, info)
+
+	if workers > len(states) {
+		workers = len(states)
+	}
+	var replicas []model.Enumerable
+	if workers > 1 {
+		replicas = replicate(sys, workers)
+		workers = len(replicas) // 1 when the system is not replicable
 	}
 
+	// Phase 1: the Restore/Step/ApplyInput sweep over states×inputs,
+	// chunked across workers writing disjoint slots of infos.
+	infos := make([]*stateInfo, len(states))
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		const chunk = 64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(rep model.Enumerable) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(chunk)) - chunk
+					if lo >= len(states) {
+						return
+					}
+					hi := lo + chunk
+					if hi > len(states) {
+						hi = len(states)
+					}
+					for si := lo; si < hi; si++ {
+						infos[si] = precompute(rep, states[si], colours, inputs)
+					}
+				}
+			}(replicas[w])
+		}
+		wg.Wait()
+	} else {
+		for si, ref := range states {
+			infos[si] = precompute(sys, ref, colours, inputs)
+		}
+	}
+
+	// Phase 2: per-colour condition passes. Each colour's pass is
+	// independent given the precomputed infos; it needs a system only to
+	// lazily re-derive canonical Φ strings when a violation needs a
+	// human-readable Detail. Per-colour Results are merged in colour
+	// order, so the outcome does not depend on the worker count.
+	perColour := make([]*Result, len(colours))
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(rep model.Enumerable) {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(colours) {
+						return
+					}
+					perColour[ci] = checkColour(rep, ci, colours[ci], infos, inputs, maxViolations)
+				}
+			}(replicas[w])
+		}
+		wg.Wait()
+	} else {
+		for ci, c := range colours {
+			perColour[ci] = checkColour(sys, ci, c, infos, inputs, maxViolations)
+		}
+	}
+
+	res := &Result{Checks: map[Condition]int{}}
+	for _, cr := range perColour {
+		if len(res.Violations) >= maxViolations {
+			break
+		}
+		res.Merge(cr)
+	}
+	return res
+}
+
+// replicate clones sys up to n times; the original is element 0. A system
+// that is not Replicable (or whose Clone fails) yields just the original,
+// collapsing the check to single-threaded.
+func replicate(sys model.Enumerable, n int) []model.Enumerable {
+	out := []model.Enumerable{sys}
+	rep, ok := sys.(model.Replicable)
+	if !ok {
+		return out
+	}
+	for len(out) < n {
+		clone, ok := rep.Clone().(model.Enumerable)
+		if !ok || clone == nil {
+			return out[:1]
+		}
+		out = append(out, clone)
+	}
+	return out
+}
+
+// precompute gathers one state's stateInfo on the given system instance.
+func precompute(sys model.Enumerable, ref model.StateRef,
+	colours []model.Colour, inputs []model.Input) *stateInfo {
+
+	sys.Restore(ref)
+	info := &stateInfo{
+		ref:    ref,
+		colour: sys.Colour(),
+		op:     sys.NextOp(),
+		phi:    make([]uint64, len(colours)),
+		phiOp:  make([]uint64, len(colours)),
+		outEx:  make([]string, len(colours)),
+		phiIn:  make([][]uint64, len(inputs)),
+		inEx:   make([][]string, len(inputs)),
+	}
+	out := sys.CurrentOutput()
+	for ci, c := range colours {
+		info.phi[ci] = model.AbstractDigest(sys, c)
+		info.outEx[ci] = sys.ExtractOutput(c, out)
+	}
+	sys.Step()
+	for ci, c := range colours {
+		info.phiOp[ci] = model.AbstractDigest(sys, c)
+	}
+	for ii, in := range inputs {
+		sys.Restore(ref)
+		phiIn := make([]uint64, len(colours))
+		inEx := make([]string, len(colours))
+		for ci, c := range colours {
+			inEx[ci] = sys.ExtractInput(c, in)
+		}
+		sys.ApplyInput(in)
+		for ci, c := range colours {
+			phiIn[ci] = model.AbstractDigest(sys, c)
+		}
+		info.phiIn[ii] = phiIn
+		info.inEx[ii] = inEx
+	}
+	return info
+}
+
+// The lazy string re-derivations for violation Details: each restores the
+// relevant state on sys and renders the canonical encoding the stored
+// digest summarizes. Violations are cold, so the extra Restore/Abstract
+// round trips cost nothing on passing checks.
+
+func phiAt(sys model.Enumerable, ref model.StateRef, c model.Colour) string {
+	sys.Restore(ref)
+	return sys.Abstract(c)
+}
+
+func phiOpAt(sys model.Enumerable, ref model.StateRef, c model.Colour) string {
+	sys.Restore(ref)
+	sys.Step()
+	return sys.Abstract(c)
+}
+
+func phiInAt(sys model.Enumerable, ref model.StateRef, in model.Input, c model.Colour) string {
+	sys.Restore(ref)
+	sys.ApplyInput(in)
+	return sys.Abstract(c)
+}
+
+// checkColour runs every condition pass for one colour over the
+// precomputed state table, accumulating into a private Result capped at
+// maxViolations. sys is used only for lazy Detail re-derivation.
+func checkColour(sys model.Enumerable, ci int, c model.Colour,
+	infos []*stateInfo, inputs []model.Input, maxViolations int) *Result {
+
+	res := &Result{Checks: map[Condition]int{}}
 	tooMany := func() bool { return len(res.Violations) >= maxViolations }
 
-	// Condition 2 (single-state) per colour.
-	for _, c := range colours {
-		for si, info := range infos {
-			if info.colour == c {
-				continue
+	// Condition 2 (single-state).
+	for si, info := range infos {
+		if info.colour == c {
+			continue
+		}
+		res.count(Condition2)
+		if info.phiOp[ci] != info.phi[ci] {
+			res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
+				Step: si, Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
+			if tooMany() {
+				return res
 			}
-			res.count(Condition2)
-			if info.phiOp[c] != info.phi[c] {
-				res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
-					Step: si, Detail: diffDetail(info.phi[c], info.phiOp[c])})
+		}
+	}
+
+	// Pairwise conditions: bucket states by Φc digest. Buckets are
+	// processed in order of their first member so violation order is a
+	// pure function of the enumeration (Go map iteration is randomized).
+	buckets := map[uint64][]int{}
+	for si, info := range infos {
+		buckets[info.phi[ci]] = append(buckets[info.phi[ci]], si)
+	}
+	for leadSi, leadInfo := range infos {
+		bucket := buckets[leadInfo.phi[ci]]
+		if bucket[0] != leadSi {
+			continue
+		}
+		lead := infos[bucket[0]]
+		for _, si := range bucket[1:] {
+			info := infos[si]
+
+			// Condition 5: outputs agree across the bucket.
+			res.count(Condition5)
+			if info.outEx[ci] != lead.outEx[ci] {
+				res.add(Violation{Condition: Condition5, Colour: c, Op: info.op,
+					Step: si, Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
+						lead.outEx[ci], info.outEx[ci])})
+			}
+
+			// Condition 3: inputs act congruently across the bucket.
+			for ii := range inputs {
+				res.count(Condition3)
+				if info.phiIn[ii][ci] != lead.phiIn[ii][ci] {
+					res.add(Violation{Condition: Condition3, Colour: c, Op: info.op,
+						Step: si, Detail: fmt.Sprintf("input %d: %s", ii,
+							diffDetail(phiInAt(sys, lead.ref, inputs[ii], c),
+								phiInAt(sys, info.ref, inputs[ii], c)))})
+				}
+			}
+			if tooMany() {
+				return res
+			}
+		}
+
+		// Conditions 1 and 6 apply to the sub-bucket with COLOUR=c.
+		var activeIdx []int
+		for _, si := range bucket {
+			if infos[si].colour == c {
+				activeIdx = append(activeIdx, si)
+			}
+		}
+		if len(activeIdx) > 1 {
+			lead := infos[activeIdx[0]]
+			for _, si := range activeIdx[1:] {
+				info := infos[si]
+				res.count(Condition6)
+				if info.op != lead.op {
+					res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
+						Step: si, Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
+				}
+				res.count(Condition1)
+				if info.phiOp[ci] != lead.phiOp[ci] {
+					res.add(Violation{Condition: Condition1, Colour: c, Op: info.op,
+						Step: si, Detail: diffDetail(phiOpAt(sys, lead.ref, c),
+							phiOpAt(sys, info.ref, c))})
+				}
 				if tooMany() {
 					return res
 				}
@@ -96,85 +314,23 @@ func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
 		}
 	}
 
-	// Pairwise conditions: bucket states by Φc.
-	for _, c := range colours {
-		buckets := map[string][]int{}
-		for si, info := range infos {
-			buckets[info.phi[c]] = append(buckets[info.phi[c]], si)
-		}
-		for _, bucket := range buckets {
-			lead := infos[bucket[0]]
-			for _, si := range bucket[1:] {
-				info := infos[si]
-
-				// Condition 5: outputs agree across the bucket.
-				res.count(Condition5)
-				if info.outEx[c] != lead.outEx[c] {
-					res.add(Violation{Condition: Condition5, Colour: c, Op: info.op,
-						Step: si, Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
-							lead.outEx[c], info.outEx[c])})
-				}
-
-				// Condition 3: inputs act congruently across the bucket.
-				for ii := range inputs {
-					res.count(Condition3)
-					if info.phiIn[ii][c] != lead.phiIn[ii][c] {
-						res.add(Violation{Condition: Condition3, Colour: c, Op: info.op,
-							Step: si, Detail: fmt.Sprintf("input %d: %s", ii,
-								diffDetail(lead.phiIn[ii][c], info.phiIn[ii][c]))})
-					}
-				}
-				if tooMany() {
-					return res
-				}
-			}
-
-			// Conditions 1 and 6 apply to the sub-bucket with COLOUR=c.
-			var activeIdx []int
-			for _, si := range bucket {
-				if infos[si].colour == c {
-					activeIdx = append(activeIdx, si)
-				}
-			}
-			if len(activeIdx) > 1 {
-				lead := infos[activeIdx[0]]
-				for _, si := range activeIdx[1:] {
-					info := infos[si]
-					res.count(Condition6)
-					if info.op != lead.op {
-						res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
-							Step: si, Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
-					}
-					res.count(Condition1)
-					if info.phiOp[c] != lead.phiOp[c] {
-						res.add(Violation{Condition: Condition1, Colour: c, Op: info.op,
-							Step: si, Detail: diffDetail(lead.phiOp[c], info.phiOp[c])})
-					}
+	// Condition 4: per state, inputs grouped by EXTRACT(c, i).
+	for si, info := range infos {
+		groups := map[string]int{}
+		for ii := range inputs {
+			key := info.inEx[ii][ci]
+			if first, ok := groups[key]; ok {
+				res.count(Condition4)
+				if info.phiIn[ii][ci] != info.phiIn[first][ci] {
+					res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
+						Step: si, Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
+							first, ii)})
 					if tooMany() {
 						return res
 					}
 				}
-			}
-		}
-
-		// Condition 4: per state, inputs grouped by EXTRACT(c, i).
-		for si, info := range infos {
-			groups := map[string]int{}
-			for ii := range inputs {
-				key := info.inEx[ii][c]
-				if first, ok := groups[key]; ok {
-					res.count(Condition4)
-					if info.phiIn[ii][c] != info.phiIn[first][c] {
-						res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
-							Step: si, Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
-								first, ii)})
-						if tooMany() {
-							return res
-						}
-					}
-				} else {
-					groups[key] = ii
-				}
+			} else {
+				groups[key] = ii
 			}
 		}
 	}

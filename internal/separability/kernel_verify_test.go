@@ -1,9 +1,12 @@
 package separability_test
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/kernel"
+	"repro/internal/model"
 	"repro/internal/separability"
 	"repro/internal/verifysys"
 )
@@ -126,6 +129,129 @@ func TestSchedulerSnoopInvisibleToSixConditions(t *testing.T) {
 	if !res.Passed() {
 		t.Fatalf("six conditions unexpectedly flagged the pure scheduling channel: %s",
 			res.Summary())
+	}
+}
+
+// The kernel adapter's native AbstractDigest must be exactly the FNV-1a
+// hash of the canonical Abstract string, on randomly sampled reachable
+// states (the adapter state space cannot be enumerated, so this samples
+// the same distribution the randomized checker visits).
+func TestAdapterDigestMatchesAbstract(t *testing.T) {
+	for _, cut := range []bool{true, false} {
+		sys := build(t, verifysys.ProbePlain, kernel.Leaks{}, cut)
+		rng := rand.New(rand.NewSource(23))
+		for trial := 0; trial < 4; trial++ {
+			sys.Randomize(rng)
+			for step := 0; step < 40; step++ {
+				if step%5 == 0 {
+					sys.ApplyInput(sys.RandomInput(rng))
+				} else {
+					sys.ApplyInput(nil)
+				}
+				for _, c := range sys.Colours() {
+					str := sys.Abstract(c)
+					if got, want := sys.AbstractDigest(c), model.DigestString(str); got != want {
+						t.Fatalf("cut=%v colour %s: AbstractDigest %x, FNV(Abstract) %x (len %d)",
+							cut, c, got, want, len(str))
+					}
+				}
+				sys.Step()
+			}
+		}
+	}
+}
+
+// Adapter.Clone must produce a replica that (a) agrees with the original
+// on every colour's abstract state, and (b) evolves independently.
+func TestAdapterCloneIndependence(t *testing.T) {
+	sys := build(t, verifysys.ProbePlain, kernel.Leaks{}, true)
+	rng := rand.New(rand.NewSource(3))
+	sys.Randomize(rng)
+
+	clone, ok := sys.Clone().(*kernel.Adapter)
+	if !ok || clone == nil {
+		t.Fatal("adapter Clone failed on a replicable device set")
+	}
+	for _, c := range sys.Colours() {
+		if clone.Abstract(c) != sys.Abstract(c) {
+			t.Fatalf("clone disagrees on Φ^%s immediately after cloning", c)
+		}
+	}
+	if clone.NextOp() != sys.NextOp() {
+		t.Fatalf("clone selects %q where original selects %q", clone.NextOp(), sys.NextOp())
+	}
+
+	// Lock in the clone's view, advance only the original.
+	before := map[model.Colour]string{}
+	for _, c := range clone.Colours() {
+		before[c] = clone.Abstract(c)
+	}
+	for i := 0; i < 25; i++ {
+		sys.ApplyInput(nil)
+		sys.Step()
+	}
+	for _, c := range clone.Colours() {
+		if got := clone.Abstract(c); got != before[c] {
+			t.Errorf("stepping the original moved the clone's Φ^%s", c)
+		}
+	}
+
+	// Identical stimuli from identical states must keep them in lockstep
+	// (the clone is a real machine, not a stale view).
+	clone2, _ := sys.Clone().(*kernel.Adapter)
+	if clone2 == nil {
+		t.Fatal("second clone failed")
+	}
+	for i := 0; i < 25; i++ {
+		sys.ApplyInput(nil)
+		sys.Step()
+		clone2.ApplyInput(nil)
+		clone2.Step()
+	}
+	for _, c := range sys.Colours() {
+		if sys.Abstract(c) != clone2.Abstract(c) {
+			t.Errorf("lockstep broke for colour %s", c)
+		}
+	}
+}
+
+// Worker-count determinism on the real kernel: the acceptance bar is
+// byte-identical Summary() output (and in fact identical violation lists)
+// between the serial and parallel engines for a fixed seed.
+func TestKernelParallelDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		leaks kernel.Leaks
+	}{
+		{"honest", kernel.Leaks{}},
+		{"RegisterLeak", kernel.Leaks{RegisterLeak: true}},
+		{"SharedScratch", kernel.Leaks{SharedScratch: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := separability.Options{
+				Trials: 6, StepsPerTrial: 60, Seed: 42, CheckScheduling: true,
+			}
+			opt.Workers = 1
+			serial := separability.CheckRandomized(
+				build(t, verifysys.ProbeFor(tc.leaks), tc.leaks, true), opt)
+			for _, workers := range []int{2, 5} {
+				opt.Workers = workers
+				par := separability.CheckRandomized(
+					build(t, verifysys.ProbeFor(tc.leaks), tc.leaks, true), opt)
+				if serial.Summary() != par.Summary() {
+					t.Fatalf("workers=%d: summary diverged:\n  serial:   %s\n  parallel: %s",
+						workers, serial.Summary(), par.Summary())
+				}
+				if !reflect.DeepEqual(serial.Violations, par.Violations) {
+					t.Fatalf("workers=%d: violation lists diverged", workers)
+				}
+				if !reflect.DeepEqual(serial.Checks, par.Checks) {
+					t.Fatalf("workers=%d: check counts diverged: %v vs %v",
+						workers, serial.Checks, par.Checks)
+				}
+			}
+		})
 	}
 }
 

@@ -34,6 +34,8 @@ package separability
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -93,6 +95,11 @@ func (v Violation) String() string {
 }
 
 // Result accumulates the outcome of a check.
+//
+// Result is NOT goroutine-safe: the parallel checkers have every worker
+// accumulate violations and counts into a private Result and merge the
+// per-trial (or per-colour) Results on a single goroutine once the workers
+// are done, which also fixes a deterministic merge order.
 type Result struct {
 	Violations []Violation
 	// Checks counts how many instances of each condition were verified.
@@ -116,11 +123,30 @@ func (r *Result) Summary() string {
 
 func (r *Result) add(v Violation) { r.Violations = append(r.Violations, v) }
 
-func (r *Result) count(c Condition) {
+func (r *Result) count(c Condition) { r.countN(c, 1) }
+
+func (r *Result) countN(c Condition, n int) {
 	if r.Checks == nil {
 		r.Checks = map[Condition]int{}
 	}
-	r.Checks[c]++
+	r.Checks[c] += n
+}
+
+// Merge folds other into r: violations are appended in other's order and
+// check counts are summed. Like every Result method it must be called from
+// one goroutine at a time; the engines merge worker-private Results in
+// trial (or colour) order after the workers finish, so merged output is
+// identical regardless of worker count.
+func (r *Result) Merge(other *Result) {
+	if other == nil {
+		return
+	}
+	for _, v := range other.Violations {
+		r.add(v)
+	}
+	for c, n := range other.Checks {
+		r.countN(c, n)
+	}
 }
 
 // ViolatedConditions returns the distinct conditions violated.
@@ -154,6 +180,13 @@ type Options struct {
 	CheckScheduling bool
 	// Colours restricts checking to these colours (nil = all).
 	Colours []model.Colour
+	// Workers shards the trials across this many checker goroutines, each
+	// owning a private replica of the system (0 or 1 = single-threaded).
+	// Using more than one worker requires the system to implement
+	// model.Replicable (or use CheckRandomizedParallel with a factory);
+	// non-replicable systems are checked single-threaded regardless.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns options balanced for CI-speed checking of the
@@ -179,43 +212,166 @@ func (o *Options) fill() {
 
 // CheckRandomized verifies the six conditions on randomly sampled
 // reachable states of sys.
+//
+// Trials are mutually independent: each runs from its own deterministically
+// derived RNG stream, so they can execute in any order — or concurrently,
+// when Options.Workers > 1 and sys implements model.Replicable — and the
+// merged Result is byte-identical for every worker count.
 func CheckRandomized(sys model.Perturbable, opt Options) *Result {
 	opt.fill()
-	res := &Result{Checks: map[Condition]int{}}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	colours := opt.Colours
 	if colours == nil {
 		colours = sys.Colours()
 	}
-
-	for trial := 0; trial < opt.Trials; trial++ {
-		sys.Randomize(rng)
-		for step := 0; step < opt.StepsPerTrial; step++ {
-			if len(res.Violations) >= opt.MaxViolations {
-				return res
+	if opt.Workers > 1 {
+		if rep, ok := sys.(model.Replicable); ok {
+			factory := func() model.Perturbable {
+				clone, _ := rep.Clone().(model.Perturbable)
+				return clone
 			}
-			// Advance the input phase first so that states with freshly
-			// raised device interrupts are among the states checked (the
-			// interrupt-fielding operations are exactly where kernels
-			// historically go wrong, and the paper's motivation for a new
-			// technique).
-			if step%opt.InputEvery == opt.InputEvery-1 {
-				sys.ApplyInput(sys.RandomInput(rng))
-			} else {
-				sys.ApplyInput(nil)
+			if probe := factory(); probe != nil {
+				return runTrialsParallel(sys, factory, opt, colours)
 			}
-
-			c := colours[rng.Intn(len(colours))]
-			checkState(sys, c, rng, res, trial, step, opt)
-
-			sys.Step()
 		}
+		// Not replicable: fall through to the single-threaded engine,
+		// which produces the same Result a worker pool would.
+	}
+	res := &Result{Checks: map[Condition]int{}}
+	for trial := 0; trial < opt.Trials; trial++ {
+		// Deterministic stopping rule (shared with the parallel merge):
+		// stop starting trials once the merged prefix hit the cap.
+		if len(res.Violations) >= opt.MaxViolations {
+			break
+		}
+		res.Merge(runTrial(sys, trial, opt, colours))
+	}
+	return res
+}
+
+// CheckRandomizedParallel runs CheckRandomized with each worker goroutine
+// owning a system replica manufactured by factory, for systems that cannot
+// implement model.Replicable but can be rebuilt from configuration. The
+// factory must return independent instances; a nil return disables that
+// worker (its trials are picked up by the others, or run on the first
+// instance). Results are identical to a single-threaded CheckRandomized of
+// a factory-built system with the same Options.
+func CheckRandomizedParallel(factory func() model.Perturbable, opt Options) *Result {
+	opt.fill()
+	base := factory()
+	if base == nil {
+		return &Result{Checks: map[Condition]int{}}
+	}
+	colours := opt.Colours
+	if colours == nil {
+		colours = base.Colours()
+	}
+	if opt.Workers <= 1 {
+		o := opt
+		o.Workers = 1
+		return CheckRandomized(base, o)
+	}
+	return runTrialsParallel(base, factory, opt, colours)
+}
+
+// runTrialsParallel shards trial indices across a worker pool. base is an
+// instance reserved for the calling goroutine (used to backfill any trial
+// a worker could not run); factory supplies each worker's private replica.
+func runTrialsParallel(base model.Perturbable, factory func() model.Perturbable,
+	opt Options, colours []model.Colour) *Result {
+
+	workers := opt.Workers
+	if workers > opt.Trials {
+		workers = opt.Trials
+	}
+	results := make([]*Result, opt.Trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys := factory()
+			if sys == nil {
+				return
+			}
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= opt.Trials {
+					return
+				}
+				results[trial] = runTrial(sys, trial, opt, colours)
+			}
+		}()
+	}
+	wg.Wait()
+	// Backfill trials no worker reached (factory failures) on base, then
+	// merge in trial order under the deterministic stopping rule.
+	res := &Result{Checks: map[Condition]int{}}
+	for trial := 0; trial < opt.Trials; trial++ {
+		if len(res.Violations) >= opt.MaxViolations {
+			break
+		}
+		if results[trial] == nil {
+			results[trial] = runTrial(base, trial, opt, colours)
+		}
+		res.Merge(results[trial])
+	}
+	return res
+}
+
+// trialSeed derives trial t's RNG seed from the user seed via a
+// SplitMix64-style avalanche, so per-trial streams are uncorrelated while
+// remaining a pure function of (Seed, trial).
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// runTrial explores one random reachable trace and checks every applicable
+// condition along it, accumulating into a private Result. It touches only
+// sys and its own RNG, so distinct trials may run concurrently on distinct
+// replicas.
+func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Colour) *Result {
+	res := &Result{Checks: map[Condition]int{}}
+	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, trial)))
+	sys.Randomize(rng)
+	for step := 0; step < opt.StepsPerTrial; step++ {
+		if len(res.Violations) >= opt.MaxViolations {
+			return res
+		}
+		// Advance the input phase first so that states with freshly
+		// raised device interrupts are among the states checked (the
+		// interrupt-fielding operations are exactly where kernels
+		// historically go wrong, and the paper's motivation for a new
+		// technique).
+		if step%opt.InputEvery == opt.InputEvery-1 {
+			sys.ApplyInput(sys.RandomInput(rng))
+		} else {
+			sys.ApplyInput(nil)
+		}
+
+		c := colours[rng.Intn(len(colours))]
+		checkState(sys, c, rng, res, trial, step, opt)
+
+		sys.Step()
 	}
 	return res
 }
 
 // checkState verifies every applicable condition for colour c at the
 // system's current state, leaving the system state unchanged.
+//
+// All hot-path Φ comparisons use 64-bit FNV digests (model.AbstractDigest)
+// rather than the canonical strings; the strings are re-derived — by
+// restoring the relevant states and calling Abstract — only on the cold
+// path where a violation needs a human-readable Detail. A digest collision
+// could mask a real violation with probability ~2^-64 per comparison,
+// which is far below the residual risk of sampling itself.
 func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	res *Result, trial, step int, opt Options) {
 
@@ -224,16 +380,24 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 
 	active := sys.Colour()
 	op := sys.NextOp()
-	phi0 := sys.Abstract(c)
+	phi0 := model.AbstractDigest(sys, c)
+
+	// phiString re-derives the canonical Φc encoding of the saved state s0
+	// (violation reporting only; leaves the system at s0).
+	phiString := func() string {
+		sys.Restore(s0)
+		return sys.Abstract(c)
+	}
 
 	if active != c {
 		// Condition 2: an operation on another's behalf must not change
 		// Φc. Single-state check, no perturbation needed.
 		sys.Step()
-		if after := sys.Abstract(c); after != phi0 {
+		if model.AbstractDigest(sys, c) != phi0 {
+			after := sys.Abstract(c)
 			res.add(Violation{Condition: Condition2, Colour: c, Op: op,
 				Trial: trial, Step: step,
-				Detail: diffDetail(phi0, after)})
+				Detail: diffDetail(phiString(), after)})
 		}
 		res.count(Condition2)
 		sys.Restore(s0)
@@ -242,14 +406,15 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 		// construction, so the twin must select the same operation and
 		// produce the same abstract successor.
 		sys.Step()
-		phiAfter := sys.Abstract(c)
+		phiAfter := model.AbstractDigest(sys, c)
 		sys.Restore(s0)
 
 		sys.PerturbOutside(c, rng)
-		if got := sys.Abstract(c); got != phi0 {
+		if model.AbstractDigest(sys, c) != phi0 {
+			got := sys.Abstract(c)
 			res.add(Violation{Condition: ConditionMeta, Colour: c, Op: op,
 				Trial: trial, Step: step,
-				Detail: "PerturbOutside failed to preserve Φc: " + diffDetail(phi0, got)})
+				Detail: "PerturbOutside failed to preserve Φc: " + diffDetail(phiString(), got)})
 			res.count(ConditionMeta)
 			return
 		}
@@ -263,19 +428,24 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 			}
 			sys.Step()
 			res.count(Condition1)
-			if got := sys.Abstract(c); got != phiAfter {
+			if model.AbstractDigest(sys, c) != phiAfter {
+				got := sys.Abstract(c)
+				sys.Restore(s0)
+				sys.Step()
 				res.add(Violation{Condition: Condition1, Colour: c, Op: op,
 					Trial: trial, Step: step,
-					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(phiAfter, got)})
+					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(sys.Abstract(c), got)})
 			}
 		}
 		sys.Restore(s0)
 	}
 
-	// Condition 5: outputs extract equal on Φc-equal states.
+	// Condition 5: outputs extract equal on Φc-equal states. The extracts
+	// are compared as strings (they are the counterexample payload and are
+	// cheap relative to Φ); only the Φ-preservation guard uses digests.
 	out0 := sys.ExtractOutput(c, sys.CurrentOutput())
 	sys.PerturbOutside(c, rng)
-	if sys.Abstract(c) == phi0 {
+	if model.AbstractDigest(sys, c) == phi0 {
 		res.count(Condition5)
 		if out1 := sys.ExtractOutput(c, sys.CurrentOutput()); out1 != out0 {
 			res.add(Violation{Condition: Condition5, Colour: c, Op: op,
@@ -285,19 +455,27 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	}
 	sys.Restore(s0)
 
+	// phiInString re-derives Φc of INPUT(s0, in) for violation reports.
+	phiInString := func(in model.Input) string {
+		sys.Restore(s0)
+		sys.ApplyInput(in)
+		return sys.Abstract(c)
+	}
+
 	// Condition 3: same input on Φc-equal states.
 	in := sys.RandomInput(rng)
 	sys.ApplyInput(in)
-	phiIn := sys.Abstract(c)
+	phiIn := model.AbstractDigest(sys, c)
 	sys.Restore(s0)
 	sys.PerturbOutside(c, rng)
-	if sys.Abstract(c) == phi0 {
+	if model.AbstractDigest(sys, c) == phi0 {
 		sys.ApplyInput(in)
 		res.count(Condition3)
-		if got := sys.Abstract(c); got != phiIn {
+		if model.AbstractDigest(sys, c) != phiIn {
+			got := sys.Abstract(c)
 			res.add(Violation{Condition: Condition3, Colour: c, Op: op,
 				Trial: trial, Step: step,
-				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiIn, got)})
+				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiInString(in), got)})
 		}
 	}
 	sys.Restore(s0)
@@ -307,10 +485,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	if sys.ExtractInput(c, in) == sys.ExtractInput(c, in2) {
 		sys.ApplyInput(in2)
 		res.count(Condition4)
-		if got := sys.Abstract(c); got != phiIn {
+		if model.AbstractDigest(sys, c) != phiIn {
+			got := sys.Abstract(c)
 			res.add(Violation{Condition: Condition4, Colour: c, Op: op,
 				Trial: trial, Step: step,
-				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiIn, got)})
+				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiInString(in), got)})
 		}
 		sys.Restore(s0)
 	}
@@ -322,7 +501,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 		colAfter := sys.Colour()
 		sys.Restore(s0)
 		sys.PerturbOutside(c, rng)
-		if sys.Abstract(c) == phi0 && sys.Colour() == c {
+		if model.AbstractDigest(sys, c) == phi0 && sys.Colour() == c {
 			sys.Step()
 			res.count(ConditionSched)
 			if got := sys.Colour(); got != colAfter {

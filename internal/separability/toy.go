@@ -62,6 +62,12 @@ type ToySystem struct {
 // NewToySystem creates a toy system in its initial state.
 func NewToySystem(v ToyVariant) *ToySystem { return &ToySystem{Variant: v} }
 
+// Clone implements model.Replicable: the whole machine state is one value.
+func (t *ToySystem) Clone() model.SharedSystem {
+	c := *t
+	return &c
+}
+
 func colourIndex(c model.Colour) int {
 	if c == "red" {
 		return 0
