@@ -8,14 +8,16 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent verification engine and the
-# kernel adapter it replicates.
+# Race-detector pass over the concurrent verification engine, the kernel
+# adapter it replicates, and the observability counters they share.
 race:
-	$(GO) test -race ./internal/separability/... ./internal/kernel/...
+	$(GO) test -race ./internal/separability/... ./internal/kernel/... ./internal/obs/...
 
 test:
 	$(GO) test ./...
 
-# Experiment benchmarks (E1..E10); see EXPERIMENTS.md.
+# Experiment benchmarks (E1..E11); see EXPERIMENTS.md. The results are
+# also parsed into BENCH_verify.json (name, ns/op, speedup-x, workers,
+# GOMAXPROCS) for machine consumption.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$'
+	$(GO) test -bench=. -benchmem -run '^$$' | $(GO) run ./cmd/benchjson -out BENCH_verify.json

@@ -1,7 +1,7 @@
 package repro
 
 // The benchmark harness: one benchmark per experiment in EXPERIMENTS.md
-// (E1..E9). The paper is a 1981 position paper without numbered tables, so
+// (E1..E11). The paper is a 1981 position paper without numbered tables, so
 // each benchmark regenerates one *checkable claim* from the text; custom
 // metrics (b.ReportMetric) carry the experiment's actual observables
 // alongside the usual ns/op.
@@ -27,6 +27,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mls"
+	"repro/internal/obs"
 	"repro/internal/separability"
 	"repro/internal/snfe"
 	"repro/internal/terminal"
@@ -497,6 +498,33 @@ func BenchmarkE9KernelOverhead(b *testing.B) {
 			b.ReportMetric(float64(uint64(b.N))/float64(st.Swaps), "cycles/swap")
 		}
 	})
+}
+
+// BenchmarkE11TracingOverhead — the observability contract (see
+// internal/obs): hooks are nil-guarded branches outside the modelled
+// state, so an untraced kernel pays (almost) nothing and even a live ring
+// sink stays cheap. Sub-benchmarks step the same two-regime syscall-heavy
+// workload with no tracer, the no-op tracer, and a ring sink.
+func BenchmarkE11TracingOverhead(b *testing.B) {
+	build := func() *core.System {
+		return core.NewBuilder().
+			RegimeSized("a", swapLoop, 0x200).
+			RegimeSized("b", swapLoop, 0x200).
+			MustBuild()
+	}
+	run := func(b *testing.B, tr obs.Tracer) {
+		sys := build()
+		if tr != nil {
+			sys.SetTracer(tr)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Kernel.Step()
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, obs.Nop{}) })
+	b.Run("ring", func(b *testing.B) { run(b, obs.NewRing(4096)) })
 }
 
 const swapLoop = `

@@ -9,6 +9,16 @@
 // Each -chan FROM:TO adds a unidirectional channel between regime indexes.
 // The kernel ABI prelude (TRAP numbers, device segment addresses) is
 // prepended to every file automatically.
+//
+// Observability (see internal/obs):
+//
+//	seprun -trace out.jsonl                     # JSONL event trace
+//	seprun -trace out.json -trace-format chrome # open in chrome://tracing
+//	seprun -itrace 20                           # print first 20 instructions
+//	seprun -metrics                             # Prometheus-text kernel counters
+//
+// Every run ends with a per-regime exit report: instructions executed,
+// syscalls, channel traffic, final state and any fault reason.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 type chanFlags []string
@@ -68,8 +79,12 @@ yield:
 func main() {
 	steps := flag.Int("steps", 50000, "maximum machine cycles to run")
 	cut := flag.Bool("cut", false, "apply the channel-cutting transformation")
-	trace := flag.Int("trace", 0, "print the first N executed instructions")
+	itrace := flag.Int("itrace", 0, "print the first N executed instructions")
 	slice := flag.Int("slice", 0, "fixed time slice in cycles (0 = run until SWAP)")
+	tracePath := flag.String("trace", "", "write a kernel event trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl",
+		"trace file format: jsonl (one event per line) or chrome (trace_event for chrome://tracing / Perfetto)")
+	metrics := flag.Bool("metrics", false, "dump kernel activity counters in Prometheus text format after the run")
 	var chans chanFlags
 	flag.Var(&chans, "chan", "add a channel FROM:TO between regime indexes (repeatable)")
 	flag.Parse()
@@ -115,8 +130,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *trace > 0 {
-		left := *trace
+	if *itrace > 0 {
+		left := *itrace
 		sys.Machine.SetTracer(func(e machine.TraceEntry) {
 			if left <= 0 {
 				return
@@ -129,29 +144,94 @@ func main() {
 			fmt.Printf("%s  [%s]\n", e, who)
 		})
 	}
+
+	// Event tracing: attach the requested sink before the run and finish
+	// the file (flush / close the JSON array) after it.
+	var finishTrace func() error
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		switch *traceFormat {
+		case "jsonl":
+			j := obs.NewJSONL(f)
+			sys.SetTracer(j)
+			finishTrace = func() error {
+				if err := j.Flush(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		case "chrome":
+			c := obs.NewChrome(f, sys.RegimeNames())
+			sys.SetTracer(c)
+			finishTrace = func() error {
+				if err := c.Close(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		default:
+			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
+		}
+	}
+
 	n := sys.RunUntilIdle(*steps)
+
+	if finishTrace != nil {
+		if err := finishTrace(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%s)\n", *tracePath, *traceFormat)
+	}
 
 	fmt.Printf("ran %d cycles (%d machine cycles total)\n", n, sys.Machine.Cycles())
 	if sys.Kernel.Dead() {
 		fmt.Printf("KERNEL DIED: %v\n", sys.Kernel.Cause)
 		os.Exit(1)
 	}
+	exitReport(sys, names)
+
+	if *metrics {
+		reg := obs.NewRegistry()
+		sys.Kernel.FillRegistry(reg)
+		fmt.Println("\nmetrics:")
+		reg.WritePrometheus(os.Stdout)
+	}
+}
+
+// exitReport prints the per-regime outcome: what each regime did (from the
+// kernel's activity counters) and how it ended.
+func exitReport(sys *core.System, names []string) {
 	st := sys.Stats()
-	fmt.Printf("swaps=%d interrupts=%d deliveries=%d\n", st.Swaps, st.Interrupts, st.Deliveries)
+	fmt.Printf("kernel: swaps=%d sched-decisions=%d ctx-switches=%d interrupts=%d deliveries=%d\n",
+		st.Swaps, st.SchedDecisions, st.Switches, st.Interrupts, st.Deliveries)
+	fmt.Printf("%-10s %-13s %9s %9s %6s %6s  %s\n",
+		"regime", "state", "instrs", "syscalls", "sends", "recvs", "exit")
 	for i, name := range names {
 		state := sys.Kernel.RegimeStateOf(i)
 		stateName := map[machine.Word]string{
 			kernel.StateRunnable: "runnable",
-			kernel.StateDead:     "halted/faulted",
+			kernel.StateDead:     "halted",
 			kernel.StateWaitIRQ:  "waiting-irq",
 		}[state]
-		w, _ := sys.RegimeWord(name, 0x20)
-		fmt.Printf("regime %-10s state=%-14s instrs=%-8d mem[0x20]=%#x",
-			name, stateName, st.InstrPerRegime[i], w)
-		if f := sys.Kernel.RegimeFault(i); f.Reason != "" {
-			fmt.Printf("  fault: %s at PC %#x", f.Reason, f.PC)
+		exit := "ran to step limit"
+		switch state {
+		case kernel.StateDead:
+			exit = "halted voluntarily (TRAP #HALTME)"
+			if f := sys.Kernel.RegimeFault(i); f.Reason != "" {
+				stateName = "faulted"
+				exit = fmt.Sprintf("FAULT: %s at PC %#x", f.Reason, f.PC)
+			}
+		case kernel.StateWaitIRQ:
+			exit = "blocked in TRAP #WAITIRQ"
 		}
-		fmt.Println()
+		w, _ := sys.RegimeWord(name, 0x20)
+		fmt.Printf("%-10s %-13s %9d %9d %6d %6d  %s (mem[0x20]=%#x)\n",
+			name, stateName,
+			st.InstrPerRegime[i], st.SyscallPerRegime[i],
+			st.SendPerRegime[i], st.RecvPerRegime[i], exit, w)
 	}
 }
 

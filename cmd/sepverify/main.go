@@ -5,6 +5,12 @@
 //	sepverify -all                 # sweep: honest + every leak variant
 //	sepverify -uncut               # show the configured channels as flows
 //
+// Observability (see internal/obs):
+//
+//	sepverify -metrics             # per-condition check counts + worker throughput
+//	sepverify -progress            # periodic progress lines on stderr
+//	sepverify -cpuprofile cpu.out  # pprof profiles of the verification run
+//
 // Exit status is 0 when the verification outcome matches expectation
 // (honest passes / leaky is caught), 1 otherwise.
 package main
@@ -14,15 +20,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/minisue"
+	"repro/internal/obs"
 	"repro/internal/separability"
 	"repro/internal/verifysys"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the whole run so deferred cleanup (pprof stop, progress
+// ticker shutdown) executes before the process exits.
+func realMain() int {
 	leak := flag.String("leak", "", "inject one named leak (see -list)")
 	list := flag.Bool("list", false, "list the available leak names")
 	all := flag.Bool("all", false, "sweep the honest kernel and every leak variant")
@@ -35,55 +51,131 @@ func main() {
 		"checker goroutines to shard trials across (results are identical for any value)")
 	exhaustive := flag.Bool("exhaustive", false,
 		"run the exhaustive proofs (MiniSUE + toy calibration) instead of the kernel check")
+	metrics := flag.Bool("metrics", false,
+		"collect verifier metrics and dump a throughput report after the run")
+	metricsFormat := flag.String("metrics-format", "prom",
+		"registry dump format with -metrics: prom (Prometheus text) or json")
+	progress := flag.Bool("progress", false,
+		"print periodic progress lines (trials/states so far) to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	if *list {
 		for _, name := range leakNames() {
 			fmt.Println(name)
 		}
-		return
+		return 0
+	}
+
+	if *metricsFormat != "prom" && *metricsFormat != "json" {
+		fmt.Fprintf(os.Stderr, "sepverify: unknown -metrics-format %q (want prom or json)\n", *metricsFormat)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sepverify:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sepverify:", err)
+			}
+		}()
 	}
 
 	if *exhaustive {
 		runExhaustive(*workers)
-		return
+		return 0
+	}
+
+	// One registry serves -metrics, -progress and the final report; every
+	// runOne in an -all sweep accumulates into it.
+	var reg *obs.Registry
+	if *metrics || *progress {
+		reg = obs.NewRegistry()
+	}
+	start := time.Now()
+	if *progress {
+		stop := startProgress(reg)
+		defer stop()
 	}
 
 	opt := separability.Options{
 		Trials: *trials, StepsPerTrial: *steps, Seed: *seed, CheckScheduling: *sched,
-		Workers: *workers,
+		Workers: *workers, Metrics: reg,
 	}
 
+	status := 0
 	if *all {
-		ok := runOne("honest", kernel.Leaks{}, true, opt, true)
+		ok := true
+		if r, err := runOne("honest", kernel.Leaks{}, true, opt, true); err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		} else {
+			ok = r
+		}
 		for _, name := range leakNames() {
 			l := kernel.AllLeaks()[name]
-			ok = runOne(name, l, true, opt, false) && ok
+			r, err := runOne(name, l, true, opt, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sepverify:", err)
+				return 2
+			}
+			ok = r && ok
 		}
 		if !ok {
-			os.Exit(1)
+			status = 1
 		}
-		return
+	} else {
+		leaks := kernel.Leaks{}
+		expectPass := true
+		name := "honest"
+		if *leak != "" {
+			l, found := kernel.AllLeaks()[*leak]
+			if !found {
+				fmt.Fprintf(os.Stderr, "sepverify: unknown leak %q (try -list)\n", *leak)
+				return 2
+			}
+			leaks, expectPass, name = l, false, *leak
+		}
+		if *uncut {
+			expectPass = false
+			name += " (uncut)"
+		}
+		ok, err := runOne(name, leaks, !*uncut, opt, expectPass)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		if !ok {
+			status = 1
+		}
 	}
 
-	leaks := kernel.Leaks{}
-	expectPass := true
-	name := "honest"
-	if *leak != "" {
-		l, found := kernel.AllLeaks()[*leak]
-		if !found {
-			fmt.Fprintf(os.Stderr, "sepverify: unknown leak %q (try -list)\n", *leak)
-			os.Exit(2)
-		}
-		leaks, expectPass, name = l, false, *leak
+	if *metrics {
+		reportMetrics(reg, time.Since(start), *metricsFormat)
 	}
-	if *uncut {
-		expectPass = false
-		name += " (uncut)"
-	}
-	if !runOne(name, leaks, !*uncut, opt, expectPass) {
-		os.Exit(1)
-	}
+	return status
 }
 
 func leakNames() []string {
@@ -95,11 +187,10 @@ func leakNames() []string {
 	return names
 }
 
-func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options, expectPass bool) bool {
+func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options, expectPass bool) (bool, error) {
 	sys, err := verifysys.Build(verifysys.ProbeFor(leaks), leaks, cut)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sepverify:", err)
-		os.Exit(2)
+		return false, err
 	}
 	res := separability.CheckRandomized(sys, opt)
 	verdict := "as expected"
@@ -118,7 +209,126 @@ func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options,
 			fmt.Printf("    %s\n", v)
 		}
 	}
-	return good
+	return good, nil
+}
+
+// startProgress launches a ticker that reports verifier progress on stderr
+// every half second; the returned func stops it and prints a final line.
+func startProgress(reg *obs.Registry) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	line := func() {
+		fmt.Fprintf(os.Stderr, "progress: trials=%d states=%d violations=%d\n",
+			reg.CounterValue("sep_trials_total"),
+			reg.CounterValue("sep_states_checked_total"),
+			reg.CounterValue("sep_violations_total"))
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				line()
+			case <-done:
+				line()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// reportMetrics prints the human throughput summary followed by the raw
+// registry dump in the requested format.
+func reportMetrics(reg *obs.Registry, elapsed time.Duration, format string) {
+	sec := elapsed.Seconds()
+	trials := reg.CounterValue("sep_trials_total")
+	states := reg.CounterValue("sep_states_checked_total")
+	fmt.Printf("\nverifier throughput (%.3fs wall):\n", sec)
+	fmt.Printf("  trials: %d (%.1f/s)   states: %d (%.0f/s)\n",
+		trials, float64(trials)/sec, states, float64(states)/sec)
+
+	fmt.Println("  per-condition checks:")
+	for _, cv := range reg.Counters() {
+		if strings.HasPrefix(cv.Name, "sep_checks_total{") {
+			fmt.Printf("    %-40s %d\n", cv.Name, cv.Value)
+		}
+	}
+
+	// Per-worker lines exist only when the run sharded across workers.
+	type worker struct{ trials, states, busyUS uint64 }
+	byWorker := map[string]*worker{}
+	var ids []string
+	get := func(id string) *worker {
+		w, ok := byWorker[id]
+		if !ok {
+			w = &worker{}
+			byWorker[id] = w
+			ids = append(ids, id)
+		}
+		return w
+	}
+	for _, cv := range reg.Counters() {
+		name, id, ok := workerCounter(cv.Name)
+		if !ok {
+			continue
+		}
+		w := get(id)
+		switch name {
+		case "sep_worker_trials_total":
+			w.trials = cv.Value
+		case "sep_worker_states_total":
+			w.states = cv.Value
+		case "sep_worker_busy_us_total":
+			w.busyUS = cv.Value
+		}
+	}
+	if len(ids) > 0 {
+		sort.Strings(ids)
+		fmt.Println("  per-worker:")
+		for _, id := range ids {
+			w := byWorker[id]
+			busy := float64(w.busyUS) / 1e6
+			sps := 0.0
+			if busy > 0 {
+				sps = float64(w.states) / busy
+			}
+			fmt.Printf("    worker %-3s trials=%-4d states=%-7d busy=%.3fs (%.0f states/s)\n",
+				id, w.trials, w.states, busy, sps)
+		}
+	}
+
+	fmt.Println("\nmetrics:")
+	if format == "json" {
+		reg.WriteJSON(os.Stdout)
+		fmt.Println()
+	} else {
+		reg.WritePrometheus(os.Stdout)
+	}
+}
+
+// workerCounter splits a sep_worker_*{worker="N"} counter name into its
+// base name and worker id.
+func workerCounter(full string) (name, id string, ok bool) {
+	if !strings.HasPrefix(full, "sep_worker_") {
+		return "", "", false
+	}
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return "", "", false
+	}
+	name = full[:i]
+	rest := full[i:]
+	const pre = `{worker="`
+	if !strings.HasPrefix(rest, pre) || !strings.HasSuffix(rest, `"}`) {
+		return "", "", false
+	}
+	return name, rest[len(pre) : len(rest)-2], true
 }
 
 // runExhaustive performs the explicit-state proofs: the full MiniSUE state

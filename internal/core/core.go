@@ -22,6 +22,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/separability"
 )
 
@@ -148,6 +149,25 @@ func (b *Builder) MustBuild() *System {
 		panic(err)
 	}
 	return s
+}
+
+// SetTracer attaches t to both the kernel (context switches, syscalls,
+// interrupt routing, channel traffic, faults) and the machine's device
+// phase (interrupt raises); nil detaches both. Tracing is observational
+// only: it never perturbs the modelled state or any verification outcome.
+func (s *System) SetTracer(t obs.Tracer) {
+	s.Kernel.SetTracer(t)
+	s.Machine.SetEventTracer(t)
+}
+
+// RegimeNames returns the configured regime names in index order (the
+// lane labels a Chrome trace writer wants).
+func (s *System) RegimeNames() []string {
+	var names []string
+	for _, r := range s.Kernel.Config().Regimes {
+		names = append(names, r.Name)
+	}
+	return names
 }
 
 // Run steps the system n cycles.

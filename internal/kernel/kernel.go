@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // RegimeSpec configures one regime: a fixed partition of real memory, a
@@ -83,22 +84,50 @@ type Kernel struct {
 	dead  bool
 	Cause error // why the kernel died, if dead
 
-	faults  []FaultInfo // indexed by regime
-	instrs  []uint64    // user instructions executed per regime
-	swaps   uint64
-	irqs    uint64
-	deliver uint64
+	faults   []FaultInfo // indexed by regime
+	instrs   []uint64    // user instructions executed per regime
+	syscalls []uint64    // kernel services invoked per regime
+	sends    []uint64    // successful channel sends per regime
+	recvs    []uint64    // successful channel receives per regime
+	swaps    uint64
+	irqs     uint64
+	deliver  uint64
+	scheds   uint64 // scheduling decisions (scheduleFrom invocations)
+	switches uint64 // context switches (CPU handed to a different regime)
+
+	// Observability (see package obs). The tracer and the counters above
+	// live OUTSIDE the modelled state S: they are not part of any
+	// machine.Snapshot, are never rendered into Φ^c, and are not carried
+	// by Adapter.Clone — so attaching a tracer cannot change
+	// AbstractDigest or any verification outcome (test-enforced).
+	tracer  obs.Tracer
+	running int // last resume target: regime index, -1 idle, -2 pre-boot
 }
 
 // New validates the configuration and binds a kernel to a machine that
 // already has all referenced devices attached. Boot must be called before
 // stepping.
 func New(m *machine.Machine, cfg Config) (*Kernel, error) {
-	k := &Kernel{m: m, cfg: cfg}
+	k := &Kernel{m: m, cfg: cfg, running: -2}
 	if err := k.validate(); err != nil {
 		return nil, err
 	}
 	return k, nil
+}
+
+// SetTracer installs (or, with nil, removes) an event tracer receiving the
+// kernel's typed trace events: context switches, syscall enter/exit,
+// interrupt fielding and delivery, channel traffic, faults and halts. The
+// hook sits outside the modelled state — tracing never perturbs regime
+// memory, the machine snapshot, or Φ^c — and costs one nil check per hook
+// site when disabled.
+func (k *Kernel) SetTracer(t obs.Tracer) { k.tracer = t }
+
+// emit stamps the current machine cycle onto e and hands it to the tracer.
+// Callers guard with k.tracer != nil.
+func (k *Kernel) emit(e obs.Event) {
+	e.Cycle = k.m.Cycles()
+	k.tracer.Emit(e)
 }
 
 func (k *Kernel) validate() error {
@@ -229,7 +258,12 @@ func (k *Kernel) Boot() error {
 	n := len(k.cfg.Regimes)
 	k.faults = make([]FaultInfo, n)
 	k.instrs = make([]uint64, n)
+	k.syscalls = make([]uint64, n)
+	k.sends = make([]uint64, n)
+	k.recvs = make([]uint64, n)
 	k.swaps, k.irqs, k.deliver = 0, 0, 0
+	k.scheds, k.switches = 0, 0
+	k.running = -2
 
 	// Vectors and stubs: everything lands on a stub the Go kernel
 	// intercepts; the stub content is HALT as a belt-and-braces backstop.
@@ -385,6 +419,7 @@ func (k *Kernel) runnable(i int) bool {
 // scheduleFrom picks the next runnable regime starting the round-robin at
 // index start; -1 means idle.
 func (k *Kernel) scheduleFrom(start int) int {
+	k.scheds++
 	n := len(k.cfg.Regimes)
 	for d := 0; d < n; d++ {
 		i := (start + d) % n
@@ -426,6 +461,21 @@ func (k *Kernel) saveCurrent() {
 // drop to user mode.
 func (k *Kernel) resume(i int) {
 	m := k.m
+	if i != k.running {
+		k.switches++
+		if k.tracer != nil {
+			prev := k.running
+			if prev < -1 {
+				prev = -1 // boot looks like a hand-off from idle
+			}
+			ev := obs.Event{Kind: obs.EvContextSwitch, Regime: i, Prev: prev}
+			if i >= 0 {
+				ev.Name = k.cfg.Regimes[i].Name
+			}
+			k.emit(ev)
+		}
+		k.running = i
+	}
 	m.ClearWaiting()
 	if i < 0 {
 		// Idle: kernel mode, priority 0, empty kernel stack, no mappings.
@@ -715,6 +765,10 @@ func (k *Kernel) fieldInterrupt(di int) {
 		// Insecure: interrupts are credited to the wrong regime.
 		owner = (owner + 1) % len(k.cfg.Regimes)
 	}
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvIRQField, Regime: owner,
+			Arg: di, Name: k.m.Devices()[di].Name()})
+	}
 	bit := Word(1) << k.devLocal[di]
 	sb := saveBase(owner)
 	k.m.WritePhys(sb+savePending, k.m.ReadPhys(sb+savePending)|bit)
@@ -727,6 +781,10 @@ func (k *Kernel) deliverIRQ(i, j int) {
 	m := k.m
 	sb := saveBase(i)
 	k.deliver++
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvIRQDeliver, Regime: i,
+			Arg: j, Name: k.cfg.Regimes[i].Name})
+	}
 	m.WritePhys(sb+savePending, m.ReadPhys(sb+savePending)&^(Word(1)<<j))
 
 	handler, ok := k.regimeRead(i, RegimeVecBase+Word(j)*2)
@@ -789,6 +847,10 @@ func (k *Kernel) illegal() {
 func (k *Kernel) faultRegime(i int, reason string) {
 	k.setRegimeState(i, StateDead)
 	k.faults[i] = FaultInfo{Reason: reason, PC: k.m.ReadPhys(saveBase(i) + savePC)}
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvFault, Regime: i,
+			Name: k.cfg.Regimes[i].Name, Detail: reason})
+	}
 }
 
 // --- system calls ---
@@ -798,6 +860,20 @@ func (k *Kernel) syscall() {
 	i := k.current()
 	sb := saveBase(i)
 	code := m.TrapCode()
+	k.syscalls[i]++
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvSyscallEnter, Regime: i,
+			Arg: int(code), Name: TrapName(code)})
+		// The exit event reads the save area after the service wrote its
+		// results, whichever return path is taken. When the service
+		// context-switches, the exit event follows the ctx-switch event
+		// (both on the same cycle) — consumers order by emission.
+		defer func() {
+			k.emit(obs.Event{Kind: obs.EvSyscallExit, Regime: i,
+				Arg: int(code), Name: TrapName(code),
+				Value: uint64(m.ReadPhys(sb + saveR0))})
+		}()
+	}
 	arg0 := m.ReadPhys(sb + saveR0)
 	arg1 := m.ReadPhys(sb + saveR0 + 1)
 
@@ -828,6 +904,10 @@ func (k *Kernel) syscall() {
 		m.WritePhys(sb+saveIPL, 1)
 	case TrapHalt:
 		k.setRegimeState(i, StateDead)
+		if k.tracer != nil {
+			k.emit(obs.Event{Kind: obs.EvRegimeHalt, Regime: i,
+				Name: k.cfg.Regimes[i].Name})
+		}
 		if k.cfg.FixedSlice > 0 {
 			k.park()
 			return
@@ -885,6 +965,11 @@ func (k *Kernel) chanSend(regime, ci int, v Word) Word {
 	k.m.WritePhys(base+8+tail, v)
 	k.m.WritePhys(base+1, (tail+1)%capa)
 	k.m.WritePhys(base+2, count+1)
+	k.sends[regime]++
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvChanSend, Regime: regime, Arg: ci,
+			Name: ch.Name, Value: uint64(v), Occ: int(count) + 1})
+	}
 	return 1
 }
 
@@ -909,6 +994,11 @@ func (k *Kernel) chanRecv(regime, ci int) (Word, Word) {
 		v := k.m.ReadPhys(base + 8 + capa + head)
 		k.m.WritePhys(base+4, (head+1)%capa)
 		k.m.WritePhys(base+6, bCount-1)
+		k.recvs[regime]++
+		if k.tracer != nil {
+			k.emit(obs.Event{Kind: obs.EvChanRecv, Regime: regime, Arg: ci,
+				Name: ch.Name, Value: uint64(v), Occ: int(bCount) - 1})
+		}
 		return 1, v
 	}
 	count := k.m.ReadPhys(base + 2)
@@ -920,6 +1010,11 @@ func (k *Kernel) chanRecv(regime, ci int) (Word, Word) {
 	v := k.m.ReadPhys(base + 8 + head)
 	k.m.WritePhys(base+0, (head+1)%capa)
 	k.m.WritePhys(base+2, count-1)
+	k.recvs[regime]++
+	if k.tracer != nil {
+		k.emit(obs.Event{Kind: obs.EvChanRecv, Regime: regime, Arg: ci,
+			Name: ch.Name, Value: uint64(v), Occ: int(count) - 1})
+	}
 	return 1, v
 }
 
@@ -998,20 +1093,53 @@ func (k *Kernel) RegimeReg(i, r int) Word {
 	}
 }
 
-// Stats reports kernel activity counters.
+// Stats reports kernel activity counters. Like the tracer, the counters
+// live outside the modelled state: they are observational only and are
+// neither snapshotted nor rendered into Φ^c.
 type Stats struct {
 	Swaps          uint64
 	Interrupts     uint64
 	Deliveries     uint64
-	InstrPerRegime []uint64
+	SchedDecisions uint64 // round-robin scans performed
+	Switches       uint64 // CPU hand-offs to a different regime (or idle)
+
+	InstrPerRegime   []uint64 // user instructions executed
+	SyscallPerRegime []uint64 // kernel services invoked
+	SendPerRegime    []uint64 // successful channel sends
+	RecvPerRegime    []uint64 // successful channel receives
 }
 
 // Stats returns activity counters accumulated since Boot.
 func (k *Kernel) Stats() Stats {
 	return Stats{
-		Swaps:          k.swaps,
-		Interrupts:     k.irqs,
-		Deliveries:     k.deliver,
-		InstrPerRegime: append([]uint64(nil), k.instrs...),
+		Swaps:            k.swaps,
+		Interrupts:       k.irqs,
+		Deliveries:       k.deliver,
+		SchedDecisions:   k.scheds,
+		Switches:         k.switches,
+		InstrPerRegime:   append([]uint64(nil), k.instrs...),
+		SyscallPerRegime: append([]uint64(nil), k.syscalls...),
+		SendPerRegime:    append([]uint64(nil), k.sends...),
+		RecvPerRegime:    append([]uint64(nil), k.recvs...),
+	}
+}
+
+// FillRegistry publishes the kernel's activity counters into an obs
+// metrics registry (Prometheus-style names, regime labels), for export by
+// tools like seprun. It adds the current point-in-time values, so use a
+// fresh registry per run.
+func (k *Kernel) FillRegistry(reg *obs.Registry) {
+	st := k.Stats()
+	reg.Counter("kernel_swaps_total").Add(st.Swaps)
+	reg.Counter("kernel_interrupts_fielded_total").Add(st.Interrupts)
+	reg.Counter("kernel_irq_deliveries_total").Add(st.Deliveries)
+	reg.Counter("kernel_sched_decisions_total").Add(st.SchedDecisions)
+	reg.Counter("kernel_context_switches_total").Add(st.Switches)
+	for i, r := range k.cfg.Regimes {
+		q := fmt.Sprintf("{regime=%q}", r.Name)
+		reg.Counter("kernel_instructions_total" + q).Add(st.InstrPerRegime[i])
+		reg.Counter("kernel_syscalls_total" + q).Add(st.SyscallPerRegime[i])
+		reg.Counter("kernel_chan_sends_total" + q).Add(st.SendPerRegime[i])
+		reg.Counter("kernel_chan_recvs_total" + q).Add(st.RecvPerRegime[i])
 	}
 }

@@ -103,6 +103,47 @@ const (
 	TrapID Word = 8
 )
 
+// TrapName returns the assembler-prelude mnemonic for a kernel service
+// code ("SWAP", "SEND", ...), or "TRAP#n" for unknown codes.
+func TrapName(code Word) string {
+	switch code {
+	case TrapSwap:
+		return "SWAP"
+	case TrapSend:
+		return "SEND"
+	case TrapRecv:
+		return "RECV"
+	case TrapIRQOn:
+		return "IRQON"
+	case TrapIRQOff:
+		return "IRQOFF"
+	case TrapPoll:
+		return "POLL"
+	case TrapHalt:
+		return "HALTME"
+	case TrapWaitIRQ:
+		return "WAITIRQ"
+	case TrapID:
+		return "WHOAMI"
+	}
+	return "TRAP#" + itoa(code)
+}
+
+// itoa formats a small word without pulling fmt into the hot path.
+func itoa(w Word) string {
+	if w == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for w > 0 {
+		i--
+		buf[i] = byte('0' + w%10)
+		w /= 10
+	}
+	return string(buf[i:])
+}
+
 // Regime virtual address space conventions.
 const (
 	// RegimeVecBase is the virtual address of the regime's interrupt

@@ -1,6 +1,10 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Machine is one SM11 computer: CPU, RAM, MMU, and attached devices.
 // All mutation happens through Step (and the explicit load/poke helpers used
@@ -29,6 +33,11 @@ type Machine struct {
 	cycles uint64
 
 	tracer func(TraceEntry)
+	// events receives typed device-phase observations (obs.EvIRQRaise when
+	// a device's interrupt line goes pending during TickDevices). Like
+	// tracer it lives outside the modelled state: Snapshot/Restore ignore
+	// it and no Φ rendering consults it.
+	events obs.Tracer
 
 	// Fault is set when the machine halts abnormally (kernel-mode bus
 	// error, double fault, illegal opcode in kernel mode).
@@ -378,10 +387,28 @@ func (m *Machine) highestPending() (int, bool) {
 // the paper's Appendix this is (together with input injection) the INPUT
 // phase of a time step: all I/O device activity happens here.
 func (m *Machine) TickDevices() {
-	for _, d := range m.devices {
+	if m.events == nil {
+		for _, d := range m.devices {
+			d.Tick()
+		}
+		return
+	}
+	for i, d := range m.devices {
+		was := d.Pending()
 		d.Tick()
+		if !was && d.Pending() {
+			m.events.Emit(obs.Event{Cycle: m.cycles, Kind: obs.EvIRQRaise,
+				Regime: -1, Arg: i, Name: d.Name()})
+		}
 	}
 }
+
+// SetEventTracer installs (or, with nil, removes) an observer for the
+// machine's device phase: it receives an obs.EvIRQRaise event whenever a
+// device tick raises that device's interrupt line. The hook is
+// observational only — Pending() is side-effect-free — and costs one nil
+// check per TickDevices when disabled.
+func (m *Machine) SetEventTracer(t obs.Tracer) { m.events = t }
 
 // InterruptPending reports whether a device interrupt would be dispatched
 // by the next StepCPU.

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Chrome is a Tracer that streams the Chrome trace_event JSON-array format,
+// which chrome://tracing and Perfetto (ui.perfetto.dev) open directly.
+//
+// The mapping: one fake process (pid 0) whose thread lanes are the kernel
+// (tid 0) and one lane per regime (tid = regime index + 1). Context
+// switches open and close "running" duration slices on the regime lanes;
+// system calls appear as one-cycle complete events on the calling regime's
+// lane; channel traffic, interrupt activity, faults and halts appear as
+// instant events. One machine cycle is rendered as one microsecond (the
+// trace_event timestamp unit).
+type Chrome struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	names  []string // regime index -> display name
+	first  bool     // no event written yet (comma management)
+	curTid int      // lane with an open "running" slice; -1 = none
+	last   uint64   // highest cycle seen (to close the final slice)
+}
+
+// NewChrome starts a trace_event stream on w; regimeNames label the lanes.
+// Call Close when done to terminate the JSON array.
+func NewChrome(w io.Writer, regimeNames []string) *Chrome {
+	c := &Chrome{
+		w:      bufio.NewWriter(w),
+		names:  append([]string(nil), regimeNames...),
+		first:  true,
+		curTid: -1,
+	}
+	c.w.WriteString("[\n")
+	c.meta(0, "kernel")
+	for i, n := range c.names {
+		c.meta(i+1, "regime "+n)
+	}
+	return c
+}
+
+// meta emits a thread_name metadata record.
+func (c *Chrome) meta(tid int, name string) {
+	c.sep()
+	fmt.Fprintf(c.w,
+		`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%q}}`,
+		tid, name)
+}
+
+// sep writes the inter-record comma (callers hold the lock or are the
+// constructor).
+func (c *Chrome) sep() {
+	if c.first {
+		c.first = false
+		return
+	}
+	c.w.WriteString(",\n")
+}
+
+// tid maps a regime index to its lane.
+func tid(regime int) int {
+	if regime < 0 {
+		return 0
+	}
+	return regime + 1
+}
+
+// Emit implements Tracer.
+func (c *Chrome) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Cycle > c.last {
+		c.last = e.Cycle
+	}
+	switch e.Kind {
+	case EvContextSwitch:
+		if c.curTid >= 0 {
+			c.end(c.curTid, e.Cycle)
+		}
+		c.curTid = -1
+		if e.Regime >= 0 {
+			c.begin(tid(e.Regime), "running", e.Cycle)
+			c.curTid = tid(e.Regime)
+		}
+	case EvSyscallEnter:
+		c.complete(tid(e.Regime), "TRAP "+e.Name, "syscall", e.Cycle, 1)
+	case EvSyscallExit:
+		// The enter event already rendered the call; exits carry no extra
+		// geometry in this format.
+	case EvChanSend:
+		c.instant(tid(e.Regime), fmt.Sprintf("send %s=%d (occ %d)", e.Name, e.Value, e.Occ), "chan", e.Cycle)
+	case EvChanRecv:
+		c.instant(tid(e.Regime), fmt.Sprintf("recv %s=%d (occ %d)", e.Name, e.Value, e.Occ), "chan", e.Cycle)
+	case EvIRQField:
+		c.instant(tid(e.Regime), "field "+e.Name, "irq", e.Cycle)
+	case EvIRQDeliver:
+		c.instant(tid(e.Regime), fmt.Sprintf("deliver irq %d", e.Arg), "irq", e.Cycle)
+	case EvIRQRaise:
+		c.instant(0, "raise "+e.Name, "irq", e.Cycle)
+	case EvFault:
+		c.instant(tid(e.Regime), "FAULT "+e.Name+": "+e.Detail, "fault", e.Cycle)
+	case EvRegimeHalt:
+		c.instant(tid(e.Regime), "halt "+e.Name, "fault", e.Cycle)
+	}
+}
+
+func (c *Chrome) begin(tid int, name string, ts uint64) {
+	c.sep()
+	fmt.Fprintf(c.w, `{"name":%q,"ph":"B","ts":%d,"pid":0,"tid":%d}`, name, ts, tid)
+}
+
+func (c *Chrome) end(tid int, ts uint64) {
+	c.sep()
+	fmt.Fprintf(c.w, `{"ph":"E","ts":%d,"pid":0,"tid":%d}`, ts, tid)
+}
+
+func (c *Chrome) complete(tid int, name, cat string, ts, dur uint64) {
+	c.sep()
+	fmt.Fprintf(c.w, `{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d}`,
+		name, cat, ts, dur, tid)
+}
+
+func (c *Chrome) instant(tid int, name, cat string, ts uint64) {
+	c.sep()
+	fmt.Fprintf(c.w, `{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d}`,
+		name, cat, ts, tid)
+}
+
+// Close terminates any open slice and the JSON array, and flushes.
+func (c *Chrome) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.curTid >= 0 {
+		c.end(c.curTid, c.last+1)
+		c.curTid = -1
+	}
+	c.w.WriteString("\n]\n")
+	return c.w.Flush()
+}
+
+// WriteChrome renders an already-collected event sequence (e.g. from a
+// Ring) as a complete Chrome trace.
+func WriteChrome(w io.Writer, regimeNames []string, events []Event) error {
+	c := NewChrome(w, regimeNames)
+	for _, e := range events {
+		c.Emit(e)
+	}
+	return c.Close()
+}

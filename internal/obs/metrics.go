@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; counters obtained from a Registry are shared by name.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus "le"
+// semantics: bucket i counts observations <= bounds[i], with an implicit
+// +Inf bucket). All mutation is atomic; Observe never allocates.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry is a goroutine-safe collection of named counters and
+// histograms. Metric names may embed Prometheus-style labels directly
+// (`sep_checks_total{condition="condition 1"}`); the exporters understand
+// the brace syntax and keep output sorted by name, so equal registries
+// export byte-identical text.
+type Registry struct {
+	mu    sync.RWMutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.ctrs[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.ctrs[name]; c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter by name without creating it (0 if absent).
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.RLock()
+	c := r.ctrs[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// CounterValues returns every counter's (name, value), sorted by name.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// Counters snapshots every registered counter, sorted by name.
+func (r *Registry) Counters() []CounterValue {
+	r.mu.RLock()
+	out := make([]CounterValue, 0, len(r.ctrs))
+	for n, c := range r.ctrs {
+		out = append(out, CounterValue{Name: n, Value: c.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// splitLabels separates "base{labels}" into base and the raw label body
+// ("" when the name carries no labels).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promLine renders base+suffix with merged label sets.
+func promLine(base, suffix, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + all + "}"
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format, sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, cv := range r.Counters() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", cv.Name, cv.Value); err != nil {
+			return err
+		}
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		r.mu.RLock()
+		h := r.hists[n]
+		r.mu.RUnlock()
+		base, labels := splitLabels(n)
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			le := `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`
+			if _, err := fmt.Fprintf(w, "%s %d\n", promLine(base, "_bucket", labels, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", promLine(base, "_bucket", labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", promLine(base, "_sum", labels, ""), h.Sum()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promLine(base, "_count", labels, ""), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON exports the registry as a single JSON object:
+//
+//	{"counters":{name:value,...},
+//	 "histograms":{name:{"count":n,"sum":s,"buckets":{"le":n,...}},...}}
+//
+// sorted by name (hand-rendered so the output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b []byte
+	b = append(b, `{"counters":{`...)
+	for i, cv := range r.Counters() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, cv.Name)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, cv.Value, 10)
+	}
+	b = append(b, `},"histograms":{`...)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for i, n := range names {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		h := hists[n]
+		b = strconv.AppendQuote(b, n)
+		b = append(b, `:{"count":`...)
+		b = strconv.AppendUint(b, h.Count(), 10)
+		b = append(b, `,"sum":`...)
+		b = strconv.AppendFloat(b, h.Sum(), 'g', -1, 64)
+		b = append(b, `,"buckets":{`...)
+		cum := uint64(0)
+		for bi, bound := range h.bounds {
+			if bi > 0 {
+				b = append(b, ',')
+			}
+			cum += h.buckets[bi].Load()
+			b = strconv.AppendQuote(b, strconv.FormatFloat(bound, 'g', -1, 64))
+			b = append(b, ':')
+			b = strconv.AppendUint(b, cum, 10)
+		}
+		if len(h.bounds) > 0 {
+			b = append(b, ',')
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		b = append(b, `"+Inf":`...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, `}}`...)
+	}
+	b = append(b, "}}\n"...)
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentHammer drives the registry the way the parallel
+// verifier does — many workers bumping shared and per-worker counters and
+// observing into a shared histogram — and checks the totals. Run under
+// -race (the Makefile race target and CI do) to verify goroutine safety.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+
+	r := NewRegistry()
+	shared := r.Counter("sep_states_checked_total")
+	hist := r.Histogram("sep_trial_seconds", []float64{0.001, 0.01, 0.1, 1})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker counters are created concurrently on first use.
+			mine := r.Counter(`sep_worker_states_total{worker="` + string(rune('0'+w)) + `"}`)
+			for i := 0; i < perWorker; i++ {
+				shared.Inc()
+				mine.Inc()
+				hist.Observe(float64(i%100) / 1000.0)
+				// Concurrent reads must also be safe.
+				if i%1024 == 0 {
+					_ = r.CounterValue("sep_states_checked_total")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := shared.Value(); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	var perWorkerSum uint64
+	for _, cv := range r.Counters() {
+		if cv.Name != "sep_states_checked_total" {
+			perWorkerSum += cv.Value
+		}
+	}
+	if perWorkerSum != workers*perWorker {
+		t.Fatalf("per-worker counters sum to %d, want %d", perWorkerSum, workers*perWorker)
+	}
+	if hist.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hist.Count(), workers*perWorker)
+	}
+}
+
+// TestConcurrentRingAndJSONL hammers the concurrent-safe sinks.
+func TestConcurrentRingAndJSONL(t *testing.T) {
+	ring := NewRing(256)
+	j := NewJSONL(discard{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				e := Event{Cycle: uint64(i), Kind: EvChanSend, Regime: w}
+				ring.Emit(e)
+				j.Emit(e)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 256 {
+		t.Fatalf("ring length %d, want 256", ring.Len())
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,129 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-dependency (standard library only) event-tracing and metrics
+// subsystem threaded through the SUE-Go kernel, the SM11 machine, and the
+// separability verifier.
+//
+// Rushby's argument rests on what each regime can observe of the shared
+// machine; obs makes the machine's own behaviour observable to *us* —
+// context switches, system calls, interrupt fielding and delivery, channel
+// traffic, faults — while staying strictly outside the modelled state S.
+// Tracer hooks are held in fields that machine.Snapshot never captures and
+// Φ^c never renders, so attaching a Tracer cannot change AbstractDigest,
+// cannot survive a model.Replicable clone, and therefore can never become a
+// covert channel inside the proofs (kernel tests enforce digest equality
+// with tracing on and off).
+//
+// The two halves:
+//
+//   - Tracer + Event: a typed event stream. Sinks provided here are Ring
+//     (bounded in-memory buffer), JSONL (one JSON object per line), and
+//     Chrome (the trace_event format that chrome://tracing and Perfetto
+//     open directly).
+//   - Registry: goroutine-safe counters and histograms with Prometheus
+//     text and JSON exporters, used for per-regime kernel activity and
+//     per-worker verifier throughput.
+package obs
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+// Event kinds. Kernel-side kinds mirror the SUE-Go kernel's entry points;
+// EvIRQRaise is emitted by the machine's device-tick phase when a device's
+// interrupt line goes pending (the INPUT half of a model time step).
+const (
+	// EvContextSwitch: the CPU was handed to Regime (or the kernel idle
+	// loop when Regime < 0); Prev is the outgoing regime.
+	EvContextSwitch EventKind = iota
+	// EvSyscallEnter: regime Regime entered kernel service Arg (trap code).
+	EvSyscallEnter
+	// EvSyscallExit: the service returned; Value is the regime's R0 (the
+	// kernel ABI's result register) as the service left it.
+	EvSyscallExit
+	// EvIRQField: the kernel fielded device Arg's hardware interrupt and
+	// credited it to Regime (-1 = unowned, dropped).
+	EvIRQField
+	// EvIRQDeliver: virtual interrupt Arg was delivered into Regime.
+	EvIRQDeliver
+	// EvChanSend: Regime sent Value on channel Arg; Occ is the occupancy
+	// after the send.
+	EvChanSend
+	// EvChanRecv: Regime received Value from channel Arg; Occ is the
+	// occupancy after the receive.
+	EvChanRecv
+	// EvFault: Regime died; Detail is the reason.
+	EvFault
+	// EvRegimeHalt: Regime halted voluntarily (TRAP #HALTME).
+	EvRegimeHalt
+	// EvIRQRaise: device Arg's interrupt line went pending during a device
+	// tick (emitted by the machine, not the kernel).
+	EvIRQRaise
+
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{
+	EvContextSwitch: "ctx-switch",
+	EvSyscallEnter:  "syscall-enter",
+	EvSyscallExit:   "syscall-exit",
+	EvIRQField:      "irq-field",
+	EvIRQDeliver:    "irq-deliver",
+	EvChanSend:      "chan-send",
+	EvChanRecv:      "chan-recv",
+	EvFault:         "fault",
+	EvRegimeHalt:    "halt",
+	EvIRQRaise:      "irq-raise",
+}
+
+// String names the kind ("ctx-switch", "syscall-enter", ...).
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one observation. Fields beyond Cycle/Kind are kind-specific;
+// unused ones are zero. Events are plain values: emitting one never hands
+// the sink a pointer into kernel or machine state.
+type Event struct {
+	// Cycle is the machine cycle counter at emission time.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// Regime is the regime index the event concerns (-1 = kernel/none).
+	Regime int
+	// Prev is the outgoing regime on a context switch (-1 = idle/boot).
+	Prev int
+	// Arg is the kind-specific small integer: trap code, device index,
+	// virtual interrupt number, or channel index.
+	Arg int
+	// Value is the kind-specific payload word (channel word, R0 result).
+	Value uint64
+	// Occ is the channel occupancy after a send/receive.
+	Occ int
+	// Name is the symbolic subject: trap, device, channel or regime name.
+	Name string
+	// Detail carries free-form context (fault reasons).
+	Detail string
+}
+
+// Tracer receives events. Implementations must be safe for use from the
+// single goroutine stepping the traced system; Ring and JSONL are
+// additionally safe for concurrent emitters.
+type Tracer interface {
+	Emit(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(e Event) { f(e) }
+
+// Nop is a Tracer that discards every event; it is the cheap default for
+// benchmarking the cost of the hooks themselves (the true default in the
+// kernel and machine is no tracer at all: a nil check).
+type Nop struct{}
+
+// Emit implements Tracer.
+func (Nop) Emit(Event) {}

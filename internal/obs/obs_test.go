@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("event %d has cycle %d", i, e.Cycle)
+		}
+	}
+	// Overflow: the ring keeps the newest window.
+	for i := 3; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	evs = r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("after wrap Len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Fatalf("after wrap event %d has cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("after Reset Len = %d", r.Len())
+	}
+}
+
+func TestJSONLEncoding(t *testing.T) {
+	var sb strings.Builder
+	j := NewJSONL(&sb)
+	j.Emit(Event{Cycle: 7, Kind: EvChanSend, Regime: 0, Arg: 2, Value: 42, Occ: 3, Name: "a->b"})
+	j.Emit(Event{Cycle: 9, Kind: EvFault, Regime: 1, Name: "rx", Detail: "MMU abort"})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	want0 := `{"cycle":7,"kind":"chan-send","regime":0,"chan":2,"value":42,"occ":3,"name":"a->b"}`
+	if lines[0] != want0 {
+		t.Fatalf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	// Every line must be standalone valid JSON.
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("invalid JSON %q: %v", l, err)
+		}
+	}
+	var m map[string]any
+	json.Unmarshal([]byte(lines[1]), &m)
+	if m["detail"] != "MMU abort" || m["kind"] != "fault" {
+		t.Fatalf("fault line decoded to %v", m)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	events := []Event{
+		{Cycle: 0, Kind: EvContextSwitch, Regime: 0, Prev: -1, Name: "tx"},
+		{Cycle: 3, Kind: EvSyscallEnter, Regime: 0, Arg: 1, Name: "SEND"},
+		{Cycle: 3, Kind: EvChanSend, Regime: 0, Arg: 0, Value: 5, Occ: 1, Name: "tx->rx"},
+		{Cycle: 3, Kind: EvSyscallExit, Regime: 0, Arg: 1, Name: "SEND", Value: 1},
+		{Cycle: 4, Kind: EvContextSwitch, Regime: 1, Prev: 0, Name: "rx"},
+		{Cycle: 8, Kind: EvIRQRaise, Regime: -1, Arg: 0, Name: "tty"},
+		{Cycle: 9, Kind: EvContextSwitch, Regime: -1, Prev: 1},
+	}
+	if err := WriteChrome(&sb, []string{"tx", "rx"}, events); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, sb.String())
+	}
+	// 3 thread_name metadata records, then geometry.
+	var metas, begins, ends int
+	for _, r := range records {
+		switch r["ph"] {
+		case "M":
+			metas++
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if metas != 3 {
+		t.Fatalf("thread_name records = %d, want 3", metas)
+	}
+	if begins != ends || begins != 2 {
+		t.Fatalf("unbalanced slices: %d B vs %d E (want 2 each)", begins, ends)
+	}
+}
+
+func TestRegistryExporters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Counter(`b_total{worker="1"}`).Inc()
+	h := r.Histogram(`lat_seconds{worker="1"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	want := `a_total 3
+b_total{worker="1"} 1
+lat_seconds_bucket{worker="1",le="0.1"} 1
+lat_seconds_bucket{worker="1",le="1"} 2
+lat_seconds_bucket{worker="1",le="+Inf"} 3
+lat_seconds_sum{worker="1"} 5.55
+lat_seconds_count{worker="1"} 3
+`
+	if prom.String() != want {
+		t.Fatalf("prometheus text:\n got:\n%s\nwant:\n%s", prom.String(), want)
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Count   uint64            `json:"count"`
+			Sum     float64           `json:"sum"`
+			Buckets map[string]uint64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("JSON export invalid: %v\n%s", err, js.String())
+	}
+	if decoded.Counters["a_total"] != 3 {
+		t.Fatalf("a_total = %d", decoded.Counters["a_total"])
+	}
+	hd := decoded.Histograms[`lat_seconds{worker="1"}`]
+	if hd.Count != 3 || hd.Buckets["+Inf"] != 3 || hd.Buckets["0.1"] != 1 {
+		t.Fatalf("histogram export wrong: %+v", hd)
+	}
+
+	// Exports are deterministic.
+	var prom2 strings.Builder
+	r.WritePrometheus(&prom2)
+	if prom.String() != prom2.String() {
+		t.Fatal("prometheus export not deterministic")
+	}
+}
+
+func TestCounterValueWithoutCreate(t *testing.T) {
+	r := NewRegistry()
+	if v := r.CounterValue("missing"); v != 0 {
+		t.Fatalf("missing counter read %d", v)
+	}
+	if got := len(r.Counters()); got != 0 {
+		t.Fatalf("CounterValue created a counter: %d registered", got)
+	}
+}

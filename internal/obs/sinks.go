@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// --- Ring ---
+
+// Ring is a bounded in-memory event sink: once full it overwrites the
+// oldest events, so it always holds the most recent window. Safe for
+// concurrent emitters.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+}
+
+// NewRing returns a ring holding at most capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the held events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset empties the ring.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.wrapped = false
+	r.mu.Unlock()
+}
+
+// --- JSONL ---
+
+// JSONL writes one JSON object per event per line. The field order is
+// fixed (cycle, kind, then kind-relevant fields), so equal event sequences
+// produce byte-identical files — which is what makes JSONL traces diffable
+// across runs. Safe for concurrent emitters.
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewJSONL wraps w in a buffered JSONL sink; call Flush when done.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	j.w.Write(AppendJSON(nil, e))
+	j.w.WriteByte('\n')
+	j.mu.Unlock()
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+// AppendJSON appends e's canonical JSON encoding to dst and returns the
+// extended slice. Fields irrelevant to the event's kind are omitted.
+func AppendJSON(dst []byte, e Event) []byte {
+	dst = append(dst, `{"cycle":`...)
+	dst = strconv.AppendUint(dst, e.Cycle, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","regime":`...)
+	dst = strconv.AppendInt(dst, int64(e.Regime), 10)
+	switch e.Kind {
+	case EvContextSwitch:
+		dst = append(dst, `,"prev":`...)
+		dst = strconv.AppendInt(dst, int64(e.Prev), 10)
+	case EvSyscallEnter:
+		dst = append(dst, `,"trap":`...)
+		dst = strconv.AppendInt(dst, int64(e.Arg), 10)
+	case EvSyscallExit:
+		dst = append(dst, `,"trap":`...)
+		dst = strconv.AppendInt(dst, int64(e.Arg), 10)
+		dst = append(dst, `,"r0":`...)
+		dst = strconv.AppendUint(dst, e.Value, 10)
+	case EvIRQField, EvIRQDeliver, EvIRQRaise:
+		dst = append(dst, `,"irq":`...)
+		dst = strconv.AppendInt(dst, int64(e.Arg), 10)
+	case EvChanSend, EvChanRecv:
+		dst = append(dst, `,"chan":`...)
+		dst = strconv.AppendInt(dst, int64(e.Arg), 10)
+		dst = append(dst, `,"value":`...)
+		dst = strconv.AppendUint(dst, e.Value, 10)
+		dst = append(dst, `,"occ":`...)
+		dst = strconv.AppendInt(dst, int64(e.Occ), 10)
+	}
+	if e.Name != "" {
+		dst = append(dst, `,"name":`...)
+		dst = strconv.AppendQuote(dst, e.Name)
+	}
+	if e.Detail != "" {
+		dst = append(dst, `,"detail":`...)
+		dst = strconv.AppendQuote(dst, e.Detail)
+	}
+	return append(dst, '}')
+}

@@ -1,0 +1,77 @@
+package separability_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/separability"
+)
+
+// TestMetricsPopulated runs the randomized checker with a registry
+// attached and checks the bookkeeping adds up: totals match the Result,
+// per-worker counters sum to the totals, and attaching metrics does not
+// change the verification outcome.
+func TestMetricsPopulated(t *testing.T) {
+	opt := separability.Options{Trials: 8, StepsPerTrial: 40, Seed: 5, Workers: 4}
+
+	bare := separability.CheckRandomized(separability.NewToySystem(separability.ToySecure), opt)
+
+	reg := obs.NewRegistry()
+	opt.Metrics = reg
+	res := separability.CheckRandomized(separability.NewToySystem(separability.ToySecure), opt)
+
+	if bare.Summary() != res.Summary() {
+		t.Fatalf("metrics changed the outcome:\n  %s\n  %s", bare.Summary(), res.Summary())
+	}
+	if got := reg.CounterValue("sep_trials_total"); got != 8 {
+		t.Fatalf("sep_trials_total = %d, want 8", got)
+	}
+	states := reg.CounterValue("sep_states_checked_total")
+	if states != uint64(res.States) {
+		t.Fatalf("sep_states_checked_total = %d, Result.States = %d", states, res.States)
+	}
+	if res.States != 8*40 {
+		t.Fatalf("Result.States = %d, want %d", res.States, 8*40)
+	}
+
+	var wTrials, wStates uint64
+	var condChecks uint64
+	for _, cv := range reg.Counters() {
+		switch {
+		case strings.HasPrefix(cv.Name, "sep_worker_trials_total"):
+			wTrials += cv.Value
+		case strings.HasPrefix(cv.Name, "sep_worker_states_total"):
+			wStates += cv.Value
+		case strings.HasPrefix(cv.Name, "sep_checks_total"):
+			condChecks += cv.Value
+		}
+	}
+	if wTrials != 8 || wStates != states {
+		t.Fatalf("per-worker sums: trials=%d states=%d, want 8 and %d", wTrials, wStates, states)
+	}
+	var resChecks uint64
+	for _, n := range res.Checks {
+		resChecks += uint64(n)
+	}
+	if condChecks != resChecks {
+		t.Fatalf("sep_checks_total sums to %d, Result.Checks to %d", condChecks, resChecks)
+	}
+	if h := reg.Histogram("sep_trial_seconds", nil); h.Count() != 8 {
+		t.Fatalf("sep_trial_seconds count = %d, want 8", h.Count())
+	}
+}
+
+// TestMetricsSingleThreaded covers the Workers<=1 path (no per-worker
+// counters, but totals still recorded).
+func TestMetricsSingleThreaded(t *testing.T) {
+	reg := obs.NewRegistry()
+	opt := separability.Options{Trials: 3, StepsPerTrial: 20, Seed: 2, Metrics: reg}
+	res := separability.CheckRandomized(separability.NewToySystem(separability.ToySecure), opt)
+	if got := reg.CounterValue("sep_trials_total"); got != 3 {
+		t.Fatalf("sep_trials_total = %d, want 3", got)
+	}
+	if got := reg.CounterValue("sep_states_checked_total"); got != uint64(res.States) {
+		t.Fatalf("states counter %d != Result.States %d", got, res.States)
+	}
+}

@@ -36,8 +36,10 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Condition identifies which of the six conditions a violation breaks.
@@ -104,6 +106,8 @@ type Result struct {
 	Violations []Violation
 	// Checks counts how many instances of each condition were verified.
 	Checks map[Condition]int
+	// States counts the sampled states conditions were checked at.
+	States int
 }
 
 // Passed reports whether no violation was found.
@@ -147,6 +151,7 @@ func (r *Result) Merge(other *Result) {
 	for c, n := range other.Checks {
 		r.countN(c, n)
 	}
+	r.States += other.States
 }
 
 // ViolatedConditions returns the distinct conditions violated.
@@ -187,7 +192,25 @@ type Options struct {
 	// non-replicable systems are checked single-threaded regardless.
 	// Results are identical for every worker count.
 	Workers int
+	// Metrics, when non-nil, receives live progress and throughput
+	// counters while the check runs (goroutine-safe; see package obs):
+	//
+	//	sep_trials_total, sep_states_checked_total,
+	//	sep_violations_total, sep_checks_total{condition="..."},
+	//	sep_trial_seconds (histogram), and per worker
+	//	sep_worker_trials_total{worker="N"},
+	//	sep_worker_states_total{worker="N"},
+	//	sep_worker_busy_us_total{worker="N"}.
+	//
+	// Metrics count the work actually performed; when MaxViolations stops
+	// the deterministic merge early, the merged Result can report fewer
+	// checks than the metrics (trials already run are still counted).
+	// Attaching a registry never changes the Result.
+	Metrics *obs.Registry
 }
+
+// trialSecondsBounds buckets per-trial wall time from 100µs to ~100s.
+var trialSecondsBounds = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10, 100}
 
 // DefaultOptions returns options balanced for CI-speed checking of the
 // SUE-Go kernel configurations used in the test suite.
@@ -288,20 +311,34 @@ func runTrialsParallel(base model.Perturbable, factory func() model.Perturbable,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			sys := factory()
 			if sys == nil {
 				return
+			}
+			// Per-worker throughput counters (created on demand; the
+			// worker label is the pool slot, not a goroutine id).
+			var wTrials, wStates, wBusy *obs.Counter
+			if opt.Metrics != nil {
+				wTrials = opt.Metrics.Counter(fmt.Sprintf("sep_worker_trials_total{worker=%q}", fmt.Sprint(w)))
+				wStates = opt.Metrics.Counter(fmt.Sprintf("sep_worker_states_total{worker=%q}", fmt.Sprint(w)))
+				wBusy = opt.Metrics.Counter(fmt.Sprintf("sep_worker_busy_us_total{worker=%q}", fmt.Sprint(w)))
 			}
 			for {
 				trial := int(next.Add(1)) - 1
 				if trial >= opt.Trials {
 					return
 				}
+				start := time.Now()
 				results[trial] = runTrial(sys, trial, opt, colours)
+				if opt.Metrics != nil {
+					wTrials.Inc()
+					wStates.Add(uint64(results[trial].States))
+					wBusy.Add(uint64(time.Since(start).Microseconds()))
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// Backfill trials no worker reached (factory failures) on base, then
@@ -338,11 +375,20 @@ func trialSeed(seed int64, trial int) int64 {
 // replicas.
 func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Colour) *Result {
 	res := &Result{Checks: map[Condition]int{}}
+	// Live progress counter: one atomic increment per checked state, so a
+	// -progress consumer sees movement inside long trials, not just
+	// between them. Everything else is recorded once per trial.
+	var liveStates *obs.Counter
+	var start time.Time
+	if opt.Metrics != nil {
+		liveStates = opt.Metrics.Counter("sep_states_checked_total")
+		start = time.Now()
+	}
 	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, trial)))
 	sys.Randomize(rng)
 	for step := 0; step < opt.StepsPerTrial; step++ {
 		if len(res.Violations) >= opt.MaxViolations {
-			return res
+			break
 		}
 		// Advance the input phase first so that states with freshly
 		// raised device interrupts are among the states checked (the
@@ -357,8 +403,24 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 
 		c := colours[rng.Intn(len(colours))]
 		checkState(sys, c, rng, res, trial, step, opt)
+		res.States++
+		if liveStates != nil {
+			liveStates.Inc()
+		}
 
 		sys.Step()
+	}
+	if opt.Metrics != nil {
+		reg := opt.Metrics
+		reg.Counter("sep_trials_total").Inc()
+		if n := len(res.Violations); n > 0 {
+			reg.Counter("sep_violations_total").Add(uint64(n))
+		}
+		for c, n := range res.Checks {
+			reg.Counter(fmt.Sprintf("sep_checks_total{condition=%q}", c.String())).Add(uint64(n))
+		}
+		reg.Histogram("sep_trial_seconds", trialSecondsBounds).
+			Observe(time.Since(start).Seconds())
 	}
 	return res
 }
