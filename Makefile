@@ -1,12 +1,25 @@
 GO ?= go
 
-.PHONY: verify race test bench
+.PHONY: verify race test bench lint fuzz-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Repository-invariant linter (see internal/lint): obs stays dependency
+# free, raw machine state stays behind the kernel adapter, tracing hooks
+# never mutate.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/seplint .
+
+# Short fuzzing pass over the assembler and the static-analyzer CFG
+# builder; the committed corpus seeds both.
+fuzz-smoke:
+	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
+	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzBuildCFG -fuzztime 10s
 
 # Race-detector pass over the concurrent verification engine, the kernel
 # adapter it replicates, and the observability counters they share.

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/asm"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+	"repro/internal/staticflow"
+)
+
+// The -compare mode runs the structured-IR certifier and the machine-level
+// analyzer (package staticflow) over corresponding subjects and prints the
+// agreement matrix. The two operate on different artefacts — hand-written
+// IR models versus genuinely assembled SM11 programs — so agreement is
+// evidence that the §4 verdicts are properties of syntactic certification
+// itself, not of one encoding of it.
+
+// irAnalogues are structured-IR renderings of the sample regime programs.
+// Channel endpoints appear as own-coloured variables (x1, x2): the cut
+// aliases, exactly how staticflow treats SEND/RECV.
+var irAnalogues = map[string]string{
+	"counter": `
+program counter
+var r2, out : RED
+r2 := 0
+while 1 {
+    r2 := r2 + 1
+    out := r2
+}
+`,
+	"echo": `
+program echo
+var rdata, xdata, r1 : RED
+while 1 {
+    r1 := rdata
+    xdata := r1
+}
+`,
+	"chanpair": `
+program chanpair
+var r2, x1, x2, out : RED
+r2 := 0
+while 1 {
+    r2 := r2 + 1
+    x1 := r2
+    out := x2
+}
+`,
+}
+
+type compareRow struct {
+	subject  string
+	ir, mach string // verdicts
+}
+
+func (r compareRow) agree() bool { return r.ir == r.mach }
+
+// compareVerdicts builds the agreement matrix; programsDir locates the
+// assembly sources for the machine-level half.
+func compareVerdicts(programsDir string) ([]compareRow, error) {
+	iso := ifa.Isolation(ifa.SwapColours...)
+	colours := []staticflow.Colour{"RED", "BLACK"}
+
+	machSwap, err := staticflow.AnalyzeKernelSwap(colours, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	machSpec, err := staticflow.AnalyzeKernelSwapAbstract(colours, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows := []compareRow{
+		{"swap-implementation", verdict(ifa.Certify(ifa.SwapImplementation(6), iso).Certified()), machSwap.Verdict()},
+		{"swap-high-level-spec", verdict(ifa.Certify(ifa.SwapHighLevelSpec(6), iso).Certified()), machSpec.Verdict()},
+	}
+
+	for _, name := range []string{"counter", "echo", "chanpair"} {
+		prog, err := ifa.Parse(irAnalogues[name])
+		if err != nil {
+			return nil, fmt.Errorf("IR analogue %s: %w", name, err)
+		}
+		irRep := ifa.Certify(prog, iso)
+
+		src, err := os.ReadFile(filepath.Join(programsDir, name+".s"))
+		if err != nil {
+			return nil, err
+		}
+		img, err := asm.Assemble(kernel.Prelude + string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s.s: %w", name, err)
+		}
+		spec := staticflow.ProgramSpec(name, "RED", []staticflow.Colour{"BLACK"}, 0x1000)
+		machRep, err := staticflow.Analyze(img, spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, compareRow{name, verdict(irRep.Certified()), machRep.Verdict()})
+	}
+	return rows, nil
+}
+
+func verdict(certified bool) string {
+	if certified {
+		return "CERTIFIED"
+	}
+	return "REJECTED"
+}
+
+// runCompare prints the matrix; the exit status is 0 when the analyzers
+// agree on every subject.
+func runCompare(out io.Writer, programsDir string) int {
+	rows, err := compareVerdicts(programsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifacheck:", err)
+		return 2
+	}
+	fmt.Fprintln(out, "agreement matrix (structured-IR certifier vs machine-level analyzer):")
+	fmt.Fprintf(out, "  %-22s %-14s %-14s %s\n", "subject", "structured IR", "machine level", "agree")
+	exit := 0
+	for _, r := range rows {
+		mark := "yes"
+		if !r.agree() {
+			mark = "NO"
+			exit = 1
+		}
+		fmt.Fprintf(out, "  %-22s %-14s %-14s %s\n", r.subject, r.ir, r.mach, mark)
+	}
+	return exit
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// The two analyzers must agree on every subject in the matrix: both reject
+// the SWAP implementation, both certify the abstract specification and the
+// three sample regime programs.
+func TestCompareAgreement(t *testing.T) {
+	rows, err := compareVerdicts(filepath.Join("..", "..", "programs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"swap-implementation":  "REJECTED",
+		"swap-high-level-spec": "CERTIFIED",
+		"counter":              "CERTIFIED",
+		"echo":                 "CERTIFIED",
+		"chanpair":             "CERTIFIED",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if !r.agree() {
+			t.Errorf("%s: analyzers disagree (IR %s, machine %s)", r.subject, r.ir, r.mach)
+		}
+		if w := want[r.subject]; r.mach != w {
+			t.Errorf("%s: verdict %s, want %s", r.subject, r.mach, w)
+		}
+	}
+
+	var buf bytes.Buffer
+	if exit := runCompare(&buf, filepath.Join("..", "..", "programs")); exit != 0 {
+		t.Errorf("runCompare exit = %d:\n%s", exit, buf.String())
+	}
+}

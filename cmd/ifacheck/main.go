@@ -31,7 +31,15 @@ func main() {
 	regs := flag.Int("regs", 6, "number of general registers in the SWAP model")
 	lattice := flag.String("lattice", "two-point",
 		"lattice for -f files: two-point, or isolation:C1,C2,...")
+	compare := flag.Bool("compare", false,
+		"print the structured-IR vs machine-level analyzer agreement matrix")
+	programsDir := flag.String("programs", "programs",
+		"directory holding the sample .s programs (used by -compare)")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(os.Stdout, *programsDir))
+	}
 
 	iso := ifa.Isolation(ifa.SwapColours...)
 	two := ifa.TwoPoint()

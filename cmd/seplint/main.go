@@ -1,0 +1,37 @@
+// Command seplint runs the repository-invariant linter (package lint) over
+// a source tree and prints one line per violation:
+//
+//	seplint [root]
+//
+// Exit status 0 means every invariant holds, 1 means violations were
+// printed, 2 means the tree could not be read. Wired into `make lint` and
+// CI so the three architecture rules — obs imports nothing, raw machine
+// state stays behind the kernel adapter, tracing hooks never mutate — stay
+// true as the codebase grows.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	diags, err := lint.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seplint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "seplint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -57,6 +57,8 @@ func realMain() int {
 		"registry dump format with -metrics: prom (Prometheus text) or json")
 	progress := flag.Bool("progress", false,
 		"print periodic progress lines (trials/states so far) to stderr")
+	listen := flag.String("listen", "",
+		"serve live verifier counters at http://ADDR/metrics while the run lasts (e.g. :9090)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -111,13 +113,22 @@ func realMain() int {
 	// One registry serves -metrics, -progress and the final report; every
 	// runOne in an -all sweep accumulates into it.
 	var reg *obs.Registry
-	if *metrics || *progress {
+	if *metrics || *progress || *listen != "" {
 		reg = obs.NewRegistry()
 	}
 	start := time.Now()
 	if *progress {
 		stop := startProgress(reg)
 		defer stop()
+	}
+	if *listen != "" {
+		bound, shutdown, err := obs.ListenMetrics(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics at http://%s/metrics\n", bound)
+		defer shutdown()
 	}
 
 	opt := separability.Options{

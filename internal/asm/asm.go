@@ -87,6 +87,7 @@ type assembler struct {
 	org     Word
 	orgSet  bool
 	loc     Word
+	over    bool // emission ran past the top of the address space
 	emitted []Word
 	passNum int
 	line    int
@@ -97,6 +98,12 @@ func (a *assembler) errf(format string, args ...any) error {
 }
 
 func (a *assembler) emit(ws ...Word) {
+	// Images must fit below the top of the 16-bit address space: a wrapped
+	// location counter would corrupt every later symbol and make the
+	// image's [Org, End) range meaningless to loaders.
+	if int(a.loc)+len(ws) > 0xFFFF {
+		a.over = true
+	}
 	if a.passNum == 2 {
 		a.emitted = append(a.emitted, ws...)
 	}
@@ -110,6 +117,9 @@ func (a *assembler) pass(src string, n int) error {
 		a.line = i + 1
 		if err := a.statement(raw); err != nil {
 			return err
+		}
+		if a.over {
+			return a.errf("image extends past the top of the address space (location %#x)", a.loc)
 		}
 	}
 	return nil

@@ -1,0 +1,47 @@
+package asm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+)
+
+// FuzzAssemble throws arbitrary source at the assembler. The assembler may
+// reject input with an error, but it must never panic, and accepted input
+// must assemble deterministically into a self-consistent image.
+func FuzzAssemble(f *testing.F) {
+	f.Add("\t.org 0x40\nstart:\tMOV #0, R2\nloop:\tADD #1, R2\n\tBR loop\n")
+	f.Add(kernel.Prelude + "\tTRAP #SWAP\n")
+	f.Add(".org 0x10\n.word 1, 2, 'A', sym\nsym:\n")
+	f.Add(".equ A, 5\n.equ B, A+1\n\t.word B\n")
+	f.Add("MOV @0x100, (R2)\nCMP 3(R1), R0\nPUSH R5\nPOP R0\n")
+	f.Add("label::\n")
+	f.Add(".org 0xffff\n.word 1, 2\n")
+	f.Add("BR far\n.org 0x200\nfar:\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		img, err := asm.Assemble(src)
+		if err != nil {
+			return
+		}
+		if img == nil {
+			t.Fatal("nil image without error")
+		}
+		if img.End() < img.Org {
+			t.Fatalf("image wraps: org %#x, %d words", img.Org, len(img.Words))
+		}
+		img2, err2 := asm.Assemble(src)
+		if err2 != nil {
+			t.Fatalf("second assembly failed: %v", err2)
+		}
+		if img2.Org != img.Org || len(img2.Words) != len(img.Words) {
+			t.Fatalf("non-deterministic assembly: %#x/%d vs %#x/%d",
+				img.Org, len(img.Words), img2.Org, len(img2.Words))
+		}
+		for i := range img.Words {
+			if img.Words[i] != img2.Words[i] {
+				t.Fatalf("non-deterministic word %d: %#x vs %#x", i, img.Words[i], img2.Words[i])
+			}
+		}
+	})
+}

@@ -185,3 +185,30 @@ const Prelude = `
 `
 
 func saveBase(i int) Word { return KData + kdSaves + Word(i)*saveStride }
+
+// The exported save-area geometry below exists for tools that reason about
+// the kernel's memory layout from outside (package staticflow models the
+// context-switch sequence over these physical addresses). The kernel itself
+// keeps using the unexported constants.
+
+// SaveBase returns the physical base address of regime i's register save
+// area.
+func SaveBase(i int) Word { return saveBase(i) }
+
+// Save-area slot offsets and stride, relative to SaveBase(i).
+const (
+	SaveOffR0      = saveR0  // R0..R5 at SaveOffR0..SaveOffR0+5
+	SaveOffSP      = saveSP  // saved stack pointer
+	SaveOffPC      = savePC  // saved program counter
+	SaveOffPSW     = savePSW // saved processor status word
+	SaveAreaStride = saveStride
+)
+
+// SchedCurrentAddr returns the physical address of the kernel word that
+// records which regime holds the CPU — the scheduling variable the paper's
+// high-level SWAP specification is allowed to touch.
+func SchedCurrentAddr() Word { return KData + kdCurrent }
+
+// ChannelAreaBase returns the physical address where channel buffers begin
+// for a system of n regimes (header + buffers follow per channel).
+func ChannelAreaBase(n int) Word { return KData + kdSaves + Word(n)*saveStride }

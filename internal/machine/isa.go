@@ -144,6 +144,25 @@ func OpByName(name string) (Word, bool) {
 	return 0, false
 }
 
+// HasSrc reports whether the opcode uses its source operand field. It is
+// the exported face of hasSrc for decoders outside the interpreter (the
+// assembler and the static flow analyzer).
+func HasSrc(op Word) bool { return hasSrc(op) }
+
+// HasDst reports whether the opcode uses its destination operand field.
+func HasDst(op Word) bool { return hasDst(op) }
+
+// SrcSpec extracts the 5-bit source operand spec of a two-operand
+// instruction word.
+func SrcSpec(w Word) Word { return (w >> 5) & 0x1f }
+
+// DstSpec extracts the 5-bit destination operand spec of a two-operand
+// instruction word.
+func DstSpec(w Word) Word { return w & 0x1f }
+
+// TrapCodeOf extracts the 10-bit service code of a TRAP instruction word.
+func TrapCodeOf(w Word) Word { return w & 0x3ff }
+
 // hasSrc reports whether the opcode uses its source operand field.
 func hasSrc(op Word) bool {
 	switch op {

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// This file closes the ROADMAP item "stream sepverify -progress counters
+// over an HTTP /metrics endpoint": the registry already speaks the
+// Prometheus text format, so the listener is a thin stdlib shim around it.
+// Package obs stays dependency-free — net/http is standard library.
+
+// MetricsHandler serves a registry snapshot. The default representation is
+// the Prometheus text exposition format; `?format=json` returns the same
+// snapshot as JSON (the WriteJSON encoding).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("format") {
+		case "", "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+		default:
+			http.Error(w, "unknown format (want prom or json)", http.StatusBadRequest)
+		}
+	})
+}
+
+// ListenMetrics exposes the registry at /metrics on addr (use host:0 for an
+// ephemeral port). It returns the bound address and a shutdown function
+// that stops the listener; scraping never perturbs the counters beyond the
+// atomic loads the registry already performs.
+func ListenMetrics(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,75 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestListenMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("sep_trials_total").Add(7)
+	reg.Counter(`sep_checks_total{condition="SC1"}`).Add(3)
+
+	bound, shutdown, err := obs.ListenMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	code, body := get(t, "http://"+bound+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if !strings.Contains(body, "sep_trials_total 7") {
+		t.Errorf("prometheus dump missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `sep_checks_total{condition="SC1"} 3`) {
+		t.Errorf("prometheus dump missing labelled counter:\n%s", body)
+	}
+
+	// Counters advanced between scrapes must show up: the endpoint reads
+	// live registry state, not a boot-time snapshot.
+	reg.Counter("sep_trials_total").Add(1)
+	if _, body = get(t, "http://"+bound+"/metrics"); !strings.Contains(body, "sep_trials_total 8") {
+		t.Errorf("second scrape is stale:\n%s", body)
+	}
+
+	code, body = get(t, "http://"+bound+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("GET ?format=json = %d", code)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("json scrape does not parse: %v\n%s", err, body)
+	}
+
+	if code, _ = get(t, "http://"+bound+"/metrics?format=xml"); code != http.StatusBadRequest {
+		t.Errorf("unknown format = %d, want 400", code)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Error("listener still serving after shutdown")
+	}
+}

@@ -1,0 +1,608 @@
+package staticflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// A loc is one colour-carrying location: the six general registers, the
+// user SP, the condition codes, a single summary location for the stack
+// (the analyzer tracks no values, so stack slots cannot be distinguished),
+// and one location per absolutely-addressed memory cell.
+type loc int32
+
+const (
+	locR0    loc = 0 // R0..R5 at locR0..locR0+5
+	locSP    loc = 6
+	locFlags loc = 7
+	locStack loc = 8
+	locNone  loc = -1 // constants and kernel-produced values
+	memBase  loc = 16
+)
+
+func memLoc(a Word) loc { return memBase + loc(a) }
+
+// witness records which instruction established a location's current
+// colour, and from where — the raw material of provenance chains.
+type witness struct {
+	addr     Word
+	text     string
+	from     loc
+	fromDesc string
+}
+
+// state maps locations to colours, storing only entries that differ from
+// the spec-declared default. Witnesses ride along and never influence the
+// fixpoint (colour maps alone decide convergence).
+type state struct {
+	col map[loc]Colour
+	wit map[loc]witness
+}
+
+func newState() *state {
+	return &state{col: map[loc]Colour{}, wit: map[loc]witness{}}
+}
+
+func (s *state) clone() *state {
+	c := &state{col: make(map[loc]Colour, len(s.col)), wit: make(map[loc]witness, len(s.wit))}
+	for k, v := range s.col {
+		c.col[k] = v
+	}
+	for k, v := range s.wit {
+		c.wit[k] = v
+	}
+	return c
+}
+
+// analysis carries one Analyze run.
+type analysis struct {
+	spec *Spec
+	lat  ifa.Lattice
+	bot  Colour
+	g    *CFG
+
+	pcCol     []Colour // implicit-flow colour per block
+	handlerIn *state   // join state at interrupt-handler entries
+
+	rep      *Report
+	seen     map[string]bool // violation/channel dedup
+	warnSeen map[string]bool
+}
+
+// Analyze runs the static information-flow analysis of the image under the
+// spec and returns the report.
+func Analyze(img *asm.Image, spec Spec) (*Report, error) {
+	g, err := BuildCFG(img)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCFG(g, spec), nil
+}
+
+// AnalyzeCFG analyzes an already-built CFG (exposed for the fuzz harness
+// and for tools that post-process the graph).
+func AnalyzeCFG(g *CFG, spec Spec) *Report {
+	a := &analysis{
+		spec:     &spec,
+		lat:      spec.lattice(),
+		g:        g,
+		pcCol:    make([]Colour, len(g.Blocks)),
+		rep:      &Report{Name: spec.Name, Entry: spec.Entry, Blocks: len(g.Blocks), Instrs: g.NumInstrs()},
+		seen:     map[string]bool{},
+		warnSeen: map[string]bool{},
+	}
+	a.bot = a.lat.Bottom()
+	for i := range a.pcCol {
+		a.pcCol[i] = a.bot
+	}
+	a.handlerIn = newState()
+	a.rep.Notes = append(a.rep.Notes, g.Notes...)
+	a.run()
+	sortFlows(a.rep.Violations)
+	sortFlows(a.rep.Channels)
+	sort.Strings(a.rep.Warnings)
+	return a.rep
+}
+
+// def returns the declared colour of a location: registers, flags and the
+// stack belong to the executing regime; memory cells to their region.
+func (a *analysis) def(l loc) Colour {
+	if l < memBase {
+		return a.spec.Entry
+	}
+	if r := a.spec.regionAt(Word(l - memBase)); r != nil {
+		return r.Colour
+	}
+	return a.bot // unmapped: faults at run time, warned separately
+}
+
+func (a *analysis) get(s *state, l loc) Colour {
+	if c, ok := s.col[l]; ok {
+		return c
+	}
+	return a.def(l)
+}
+
+func (a *analysis) set(s *state, l loc, c Colour, w witness) {
+	if c == a.def(l) {
+		delete(s.col, l)
+	} else {
+		s.col[l] = c
+	}
+	s.wit[l] = w
+}
+
+// joinInto joins src into dst, reporting whether dst changed.
+func (a *analysis) joinInto(dst, src *state) bool {
+	changed := false
+	keys := map[loc]bool{}
+	for k := range dst.col {
+		keys[k] = true
+	}
+	for k := range src.col {
+		keys[k] = true
+	}
+	for k := range keys {
+		dc, sc := a.get(dst, k), a.get(src, k)
+		j := a.lat.Lub(dc, sc)
+		if j != dc {
+			changed = true
+			if j == a.def(k) {
+				delete(dst.col, k)
+			} else {
+				dst.col[k] = j
+			}
+			// The colour rose because of src's contribution: adopt its
+			// witness so chains point at the path that supplied the colour.
+			if w, ok := src.wit[k]; ok {
+				dst.wit[k] = w
+			}
+		} else if _, ok := dst.wit[k]; !ok {
+			if w, ok := src.wit[k]; ok {
+				dst.wit[k] = w
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) equalStates(x, y *state) bool {
+	keys := map[loc]bool{}
+	for k := range x.col {
+		keys[k] = true
+	}
+	for k := range y.col {
+		keys[k] = true
+	}
+	for k := range keys {
+		if a.get(x, k) != a.get(y, k) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analysis) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !a.warnSeen[msg] {
+		a.warnSeen[msg] = true
+		a.rep.Warnings = append(a.rep.Warnings, msg)
+	}
+}
+
+// locDesc renders a location for reports.
+func (a *analysis) locDesc(l loc) string {
+	switch {
+	case l >= locR0 && l < locR0+6:
+		return fmt.Sprintf("register R%d", int(l))
+	case l == locSP:
+		return "register SP"
+	case l == locFlags:
+		return "condition codes"
+	case l == locStack:
+		return "stack"
+	case l >= memBase:
+		addr := Word(l - memBase)
+		if r := a.spec.regionAt(addr); r != nil {
+			return fmt.Sprintf("mem[%04x] (%s)", addr, r.Name)
+		}
+		return fmt.Sprintf("mem[%04x] (unmapped)", addr)
+	}
+	return "?"
+}
+
+// run drives the outer fixpoint: the inner worklist propagates colours
+// under the current implicit-flow assignment; the implicit colours are then
+// recomputed from the condition-code colours at conditional branches (via
+// control dependence) and the interrupt-handler entry state from the join
+// of every block (an interrupt may fire anywhere). Both only rise in a
+// finite lattice, so the loop converges.
+func (a *analysis) run() {
+	deps := controlDeps(a.g)
+	var outs []*state
+	for iter := 0; ; iter++ {
+		outs = a.inner(false)
+		changed := false
+		for bi := range a.g.Blocks {
+			pc := a.bot
+			for _, br := range deps[bi] {
+				pc = a.lat.Lub(pc, a.get(outs[br], locFlags))
+			}
+			if pc != a.pcCol[bi] {
+				a.pcCol[bi] = pc
+				changed = true
+			}
+		}
+		if len(a.g.IRQRoots) > 0 {
+			h := newState()
+			a.joinInto(h, a.entryState())
+			for _, o := range outs {
+				a.joinInto(h, o)
+			}
+			if !a.equalStates(h, a.handlerIn) {
+				a.handlerIn = h
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > len(a.g.Blocks)+8 {
+			a.rep.Notes = append(a.rep.Notes, "fixpoint iteration bound hit; results are conservative")
+			break
+		}
+	}
+	// Reporting pass over the converged states.
+	a.inner(true)
+}
+
+// entryState builds the program-entry state: everything at its declared
+// colour (the maps start empty; defaults supply the colours).
+func (a *analysis) entryState() *state { return newState() }
+
+// inner runs the worklist dataflow under the current pcCol/handlerIn,
+// returning each block's out-state. With report set, flow checks record
+// violations and channel flows.
+func (a *analysis) inner(report bool) []*state {
+	n := len(a.g.Blocks)
+	ins := make([]*state, n)
+	for i := range ins {
+		ins[i] = newState()
+	}
+	inWork := make([]bool, n)
+	var work []int
+	push := func(i int) {
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	a.joinInto(ins[a.g.Entry], a.entryState())
+	push(a.g.Entry)
+	for _, r := range a.g.IRQRoots {
+		a.joinInto(ins[r], a.handlerIn)
+		push(r)
+	}
+	outs := make([]*state, n)
+	for i := range outs {
+		outs[i] = newState()
+	}
+	steps := 0
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		st := ins[bi].clone()
+		for i := range a.g.Blocks[bi].Instrs {
+			a.step(&a.g.Blocks[bi].Instrs[i], st, a.pcCol[bi], false)
+		}
+		outs[bi] = st
+		for _, e := range a.g.Blocks[bi].Succs {
+			if a.joinInto(ins[e.To], st) {
+				push(e.To)
+			}
+		}
+		// Safety bound: the lattice is finite so this terminates, but a
+		// fuzzer-built CFG deserves a belt anyway.
+		steps++
+		if steps > 64*n+4096 {
+			a.rep.Notes = append(a.rep.Notes, "worklist bound hit; results are conservative")
+			break
+		}
+	}
+	if report {
+		// The reporting pass proper: one deterministic sweep over the
+		// converged in-states, in block order.
+		for bi, b := range a.g.Blocks {
+			st := ins[bi].clone()
+			for i := range b.Instrs {
+				a.step(&b.Instrs[i], st, a.pcCol[bi], true)
+			}
+		}
+	}
+	return outs
+}
+
+// chain walks witnesses backwards from l to build a provenance chain.
+func (a *analysis) chain(st *state, l loc) []string {
+	var out []string
+	seen := map[loc]bool{}
+	for depth := 0; depth < 8 && l >= 0 && !seen[l]; depth++ {
+		seen[l] = true
+		w, ok := st.wit[l]
+		if !ok {
+			// Never written along this path: the colour is the declaration.
+			out = append(out, fmt.Sprintf("%s is declared %s", a.locDesc(l), a.def(l)))
+			break
+		}
+		if w.fromDesc == "" {
+			out = append(out, fmt.Sprintf("%s set at %04x: %s", a.locDesc(l), w.addr, w.text))
+			break
+		}
+		out = append(out, fmt.Sprintf("%s <- %s at %04x: %s", a.locDesc(l), w.fromDesc, w.addr, w.text))
+		l = w.from
+	}
+	return out
+}
+
+// report records a flow, deduplicating across the reporting sweep.
+func (a *analysis) report(f Flow) {
+	key := fmt.Sprintf("%d|%04x|%s|%s", f.Kind, f.Addr, f.Dst, f.From)
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	if f.Kind == FlowChannel {
+		a.rep.Channels = append(a.rep.Channels, f)
+	} else {
+		a.rep.Violations = append(a.rep.Violations, f)
+	}
+}
+
+// readOperand evaluates one operand for reading, returning its colour, the
+// location it came from (locNone for constants and summaries) and a
+// description.
+func (a *analysis) readOperand(in *Instr, spec Word, ext Word, st *state) (Colour, loc, string) {
+	mode, reg := machine.SpecMode(spec), machine.SpecReg(spec)
+	switch mode {
+	case machine.ModeReg:
+		l := a.regLoc(reg)
+		if l == locNone {
+			return a.bot, locNone, "PC"
+		}
+		return a.get(st, l), l, a.locDesc(l)
+	case machine.ModeExtended:
+		if reg == machine.RegPC { // immediate
+			return a.bot, locNone, "constant"
+		}
+		l := memLoc(ext)
+		if a.spec.regionAt(ext) == nil {
+			a.warnf("read of unmapped address %04x at %04x (%s) — faults at run time", ext, in.Addr, in.Text)
+		}
+		return a.get(st, l), l, a.locDesc(l)
+	default: // indirect / indexed: the address is a run-time value
+		c := a.get(st, a.regLocOr(reg, locSP))
+		for i := range a.spec.Regions {
+			c = a.lat.Lub(c, a.spec.Regions[i].Colour)
+		}
+		return c, locNone, fmt.Sprintf("mem[(R%d)] (address unresolved: any region)", reg)
+	}
+}
+
+func (a *analysis) regLoc(reg int) loc {
+	switch {
+	case reg >= 0 && reg <= 5:
+		return loc(reg)
+	case reg == machine.RegSP:
+		return locSP
+	}
+	return locNone // PC
+}
+
+func (a *analysis) regLocOr(reg int, fallback loc) loc {
+	if l := a.regLoc(reg); l != locNone {
+		return l
+	}
+	return fallback
+}
+
+// writeOperand performs a flow-checked store of colour c (already joined
+// with the pc colour) into the destination operand.
+func (a *analysis) writeOperand(in *Instr, spec, ext Word, c Colour, explicit Colour,
+	from loc, fromDesc string, st *state, report bool) {
+	mode, reg := machine.SpecMode(spec), machine.SpecReg(spec)
+	switch mode {
+	case machine.ModeReg:
+		l := a.regLoc(reg)
+		if l == locNone {
+			a.warnf("write to PC at %04x (%s) treated as control transfer only", in.Addr, in.Text)
+			return
+		}
+		a.checkedSet(in, st, l, c, explicit, from, fromDesc, report)
+	case machine.ModeExtended:
+		if reg == machine.RegPC {
+			return // immediate destination: rejected by the assembler
+		}
+		if a.spec.regionAt(ext) == nil {
+			a.warnf("write to unmapped address %04x at %04x (%s) — faults at run time", ext, in.Addr, in.Text)
+		}
+		a.checkedSet(in, st, memLoc(ext), c, explicit, from, fromDesc, report)
+	default:
+		// Store through a run-time address: it could land in any declared
+		// region, so the value must flow to every one of them.
+		if report {
+			for i := range a.spec.Regions {
+				r := &a.spec.Regions[i]
+				if !a.lat.Leq(c, r.Colour) {
+					a.report(Flow{
+						Kind: FlowStore, Addr: in.Addr, Text: in.Text,
+						From: c, To: r.Colour,
+						Dst:      fmt.Sprintf("mem[(R%d)] may reach %s", reg, r.Name),
+						Implicit: a.lat.Leq(explicit, r.Colour),
+						Chain:    a.chain(st, from),
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkedSet applies the certification rule — c (= value ⊔ pc) must flow to
+// the destination's declared colour — then updates the state.
+func (a *analysis) checkedSet(in *Instr, st *state, l loc, c Colour, explicit Colour,
+	from loc, fromDesc string, report bool) {
+	d := a.def(l)
+	if report && !a.lat.Leq(c, d) {
+		a.report(Flow{
+			Kind: FlowStore, Addr: in.Addr, Text: in.Text,
+			From: c, To: d, Dst: a.locDesc(l),
+			Implicit: a.lat.Leq(explicit, d),
+			Chain:    a.chain(st, from),
+		})
+	}
+	a.set(st, l, c, witness{addr: in.Addr, text: in.Text, from: from, fromDesc: fromDesc})
+}
+
+// kernelSet models a register written by the kernel on service return: the
+// value is produced by the kernel about this regime's own view, so it
+// carries the regime's colour (or bottom) without a flow check.
+func (a *analysis) kernelSet(in *Instr, st *state, l loc, c Colour) {
+	a.set(st, l, c, witness{addr: in.Addr, text: in.Text, from: locNone, fromDesc: "kernel service result"})
+}
+
+// step applies one instruction's transfer function.
+func (a *analysis) step(in *Instr, st *state, pc Colour, report bool) {
+	op := in.Op
+	w := in.Words[0]
+
+	// Operand extension words: source first, then destination.
+	var srcExt, dstExt Word
+	next := 1
+	getExt := func(spec Word) Word {
+		m := machine.SpecMode(spec)
+		if (m == machine.ModeIndexed || m == machine.ModeExtended) && next < len(in.Words) {
+			e := in.Words[next]
+			next++
+			return e
+		}
+		return 0
+	}
+	srcSpec, dstSpec := machine.SrcSpec(w), machine.DstSpec(w)
+	if machine.HasSrc(op) {
+		srcExt = getExt(srcSpec)
+	}
+	if machine.HasDst(op) {
+		dstExt = getExt(dstSpec)
+	}
+
+	setFlags := func(c Colour, from loc, fromDesc string) {
+		a.checkedSet(in, st, locFlags, c, c, from, fromDesc, report)
+	}
+
+	switch op {
+	case machine.OpMOV:
+		c, from, fromDesc := a.readOperand(in, srcSpec, srcExt, st)
+		joined := a.lat.Lub(c, pc)
+		a.writeOperand(in, dstSpec, dstExt, joined, c, from, fromDesc, st, report)
+		setFlags(joined, from, fromDesc)
+
+	case machine.OpADD, machine.OpSUB, machine.OpAND, machine.OpOR,
+		machine.OpXOR, machine.OpSHL, machine.OpSHR, machine.OpMUL:
+		sc, sfrom, sdesc := a.readOperand(in, srcSpec, srcExt, st)
+		dc, _, _ := a.readOperand(in, dstSpec, dstExt, st)
+		mixed := a.lat.Lub(sc, dc)
+		joined := a.lat.Lub(mixed, pc)
+		from, fromDesc := sfrom, sdesc
+		if !a.lat.Leq(sc, dc) && sfrom == locNone {
+			from, fromDesc = locNone, sdesc
+		}
+		a.writeOperand(in, dstSpec, dstExt, joined, mixed, from, fromDesc, st, report)
+		setFlags(joined, from, fromDesc)
+
+	case machine.OpCMP:
+		sc, sfrom, sdesc := a.readOperand(in, srcSpec, srcExt, st)
+		dc, _, _ := a.readOperand(in, dstSpec, dstExt, st)
+		setFlags(a.lat.Lub(a.lat.Lub(sc, dc), pc), sfrom, sdesc)
+
+	case machine.OpNOT, machine.OpNEG:
+		dc, from, fromDesc := a.readOperand(in, dstSpec, dstExt, st)
+		joined := a.lat.Lub(dc, pc)
+		a.writeOperand(in, dstSpec, dstExt, joined, dc, from, fromDesc, st, report)
+		setFlags(joined, from, fromDesc)
+
+	case machine.OpPUSH:
+		sc, from, fromDesc := a.readOperand(in, srcSpec, srcExt, st)
+		joined := a.lat.Lub(a.lat.Lub(sc, pc), a.get(st, locStack))
+		a.checkedSet(in, st, locStack, joined, sc, from, fromDesc, report)
+
+	case machine.OpPOP:
+		c := a.lat.Lub(a.get(st, locStack), pc)
+		a.writeOperand(in, dstSpec, dstExt, c, a.get(st, locStack), locStack, a.locDesc(locStack), st, report)
+
+	case machine.OpMFPS:
+		c := a.lat.Lub(a.get(st, locFlags), pc)
+		a.writeOperand(in, dstSpec, dstExt, c, a.get(st, locFlags), locFlags, a.locDesc(locFlags), st, report)
+
+	case machine.OpMTPS:
+		sc, from, fromDesc := a.readOperand(in, srcSpec, srcExt, st)
+		setFlags(a.lat.Lub(sc, pc), from, fromDesc)
+
+	case machine.OpTRAP:
+		a.trap(in, st, pc, report)
+	}
+	// Branches, JMP/JSR/RTS/RTI, HALT, WAIT, NOP move no data; branch
+	// conditions reach the analysis through control dependence instead.
+}
+
+// trap models the kernel service ABI: SEND and RECV are the sanctioned
+// channel endpoints (the paper's X1/X2 cut-channel aliases); every service
+// writes its results with the kernel's own hand.
+func (a *analysis) trap(in *Instr, st *state, pc Colour, report bool) {
+	code := machine.TrapCodeOf(in.Words[0])
+	entry := a.spec.Entry
+	switch code {
+	case kernel.TrapSend:
+		c := a.lat.Lub(a.get(st, loc(1)), pc) // R1 carries the datum
+		if report {
+			a.report(Flow{
+				Kind: FlowChannel, Addr: in.Addr, Text: in.Text,
+				From: c, To: entry, Dst: "SEND endpoint (X1): R1 leaves through the kernel channel",
+				Chain: a.chain(st, loc(1)),
+			})
+		}
+		a.kernelSet(in, st, loc(0), entry) // status
+	case kernel.TrapRecv:
+		inColour := entry // cut endpoint X2: relabelled on import
+		if a.spec.Uncut {
+			for _, p := range a.spec.Peers {
+				inColour = a.lat.Lub(inColour, p)
+			}
+		}
+		if report {
+			a.report(Flow{
+				Kind: FlowChannel, Addr: in.Addr, Text: in.Text,
+				From: inColour, To: entry, Dst: "RECV endpoint (X2): R1 imported through the kernel channel",
+			})
+		}
+		a.kernelSet(in, st, loc(0), entry)
+		// Uncut channels are the configured flows sepverify -uncut shows:
+		// the import is flow-checked instead of relabelled.
+		a.checkedSet(in, st, loc(1), inColour, inColour, locNone,
+			"uncut channel import", report)
+	case kernel.TrapPoll:
+		a.kernelSet(in, st, loc(0), entry)
+		a.kernelSet(in, st, loc(1), entry)
+	case kernel.TrapID:
+		a.kernelSet(in, st, loc(0), a.bot) // static configuration constant
+	case kernel.TrapSwap, kernel.TrapIRQOn, kernel.TrapIRQOff,
+		kernel.TrapWaitIRQ, kernel.TrapHalt:
+		// Registers ride across unchanged (the kernel saves and restores).
+	default:
+		a.kernelSet(in, st, loc(0), entry) // unknown service: error code
+	}
+}

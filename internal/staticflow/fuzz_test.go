@@ -1,0 +1,73 @@
+package staticflow_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/staticflow"
+)
+
+// FuzzBuildCFG feeds arbitrary word images to the CFG builder and the
+// analyzer: decoding garbage must terminate without panicking, and the
+// resulting report must render. (Assembled programs are well-formed by
+// construction; the CFG builder also has to survive hand-built images.)
+func FuzzBuildCFG(f *testing.F) {
+	seed := func(org staticflow.Word, words ...uint16) {
+		buf := make([]byte, 2+2*len(words))
+		binary.LittleEndian.PutUint16(buf, uint16(org))
+		for i, w := range words {
+			binary.LittleEndian.PutUint16(buf[2+2*i:], w)
+		}
+		f.Add(buf)
+	}
+	// MOV #1, R2; HALT
+	seed(0x40, 0x08fa, 0x0001, 0x0000)
+	// A tight self-loop (BR .-0) and a branch off the image end.
+	seed(0x40, 0x4fff)
+	seed(0x40, 0x47ff)
+	// TRAP #6 (HALTME), TRAP #1 (SEND).
+	seed(0x40, 0x7406, 0x7401)
+	// Truncated two-word instruction at the image edge.
+	seed(0x40, 0x0bfa)
+	// Vector install shape: MOV #imm, @abs.
+	seed(0x40, 0x0bfa, 0x0044, 0x0010, 0x0000)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap the image size: postdominator sets are quadratic in the block
+		// count, and a branch-dense image makes every word its own block.
+		// Real programs are tiny; the bound keeps the worst fuzz input well
+		// under the fuzzer's per-exec hang timeout.
+		if len(data) < 4 || len(data) > 1024 {
+			return
+		}
+		org := staticflow.Word(binary.LittleEndian.Uint16(data))
+		words := make([]staticflow.Word, 0, (len(data)-2)/2)
+		for i := 2; i+1 < len(data); i += 2 {
+			words = append(words, staticflow.Word(binary.LittleEndian.Uint16(data[i:])))
+		}
+		if len(words) == 0 {
+			return
+		}
+		img := &asm.Image{Org: org, Words: words}
+		g, err := staticflow.BuildCFG(img)
+		if err != nil {
+			return
+		}
+		spec := staticflow.Spec{
+			Name:  "fuzz",
+			Entry: "red",
+			Regions: []staticflow.Region{
+				{Name: "black.window", Lo: 0x500, Hi: 0x510, Colour: "black"},
+				{Name: "partition", Lo: 0, Hi: 0x1000, Colour: "red"},
+			},
+			Peers: []staticflow.Colour{"black"},
+		}
+		rep := staticflow.AnalyzeCFG(g, spec)
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		if s := rep.String(); s == "" {
+			t.Fatal("empty report rendering")
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package staticflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+)
+
+// This file models the kernel's context-switch sequence for the analyzer —
+// the paper's §4 centrepiece. The repository's kernel performs the switch in
+// Go (the "microcode" substitution of DESIGN.md), so for the static analysis
+// the same sequence is rendered as SM11 assembly over the *real* physical
+// addresses of internal/kernel's save areas. The sequence is manifestly
+// secure: it runs with interrupts off, moves each regime's registers only
+// between that regime's own save area and the register file, and touches
+// nothing else. Yet a syntactic flow analysis must reject it — the register
+// file is classified with the outgoing regime's colour, and the incoming
+// regime's save-area words flow straight into it. Rushby's fix is not a
+// cleverer analyzer but a coarser specification: prove the abstract SWAP
+// (only the scheduling variable changes) and check the code against that.
+
+// KernelSwapSource renders the context-switch from regime `from` to regime
+// `to` as SM11 assembly over the kernel's physical save-area addresses.
+func KernelSwapSource(from, to int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; SWAP: save regime %d, dispatch regime %d\n", from, to)
+	fmt.Fprintf(&b, "\t.org 0x300\n")
+	fmt.Fprintf(&b, "\t.equ SAVEF, 0x%04x\n", kernel.SaveBase(from))
+	fmt.Fprintf(&b, "\t.equ SAVET, 0x%04x\n", kernel.SaveBase(to))
+	fmt.Fprintf(&b, "\t.equ SCHED, 0x%04x\n", kernel.SchedCurrentAddr())
+	b.WriteString("start:\n")
+	for r := 0; r < 6; r++ {
+		fmt.Fprintf(&b, "\tMOV R%d, @SAVEF+%d\t; save outgoing R%d\n", r, r, r)
+	}
+	b.WriteString("\tMFPS R0\n")
+	fmt.Fprintf(&b, "\tMOV R0, @SAVEF+%d\t; save outgoing PSW\n", int(kernel.SaveOffPSW))
+	fmt.Fprintf(&b, "\tMOV #%d, @SCHED\t\t; the scheduling variable changes hands\n", to)
+	fmt.Fprintf(&b, "\tMOV @SAVET+%d, R0\t; incoming PSW\n", int(kernel.SaveOffPSW))
+	b.WriteString("\tMTPS R0\t\t\t; restore incoming condition codes\n")
+	for r := 0; r < 6; r++ {
+		fmt.Fprintf(&b, "\tMOV @SAVET+%d, R%d\t; restore incoming R%d\n", r, r, r)
+	}
+	b.WriteString("\tHALT\t\t\t; dispatch (control leaves this fragment)\n")
+	return b.String()
+}
+
+// KernelSwapAbstractSource renders the paper's high-level SWAP
+// specification: the only state the abstract operation changes is the
+// scheduling variable. This is the version a flow analysis can certify.
+func KernelSwapAbstractSource(to int) string {
+	var b strings.Builder
+	b.WriteString("; SWAP, abstract specification: sched := to\n")
+	b.WriteString("\t.org 0x300\n")
+	fmt.Fprintf(&b, "\t.equ SCHED, 0x%04x\n", kernel.SchedCurrentAddr())
+	b.WriteString("start:\n")
+	fmt.Fprintf(&b, "\tMOV #%d, @SCHED\n", to)
+	b.WriteString("\tHALT\n")
+	return b.String()
+}
+
+// KernelSwapSpec classifies the switch sequence: the register file carries
+// the outgoing regime's colour, each save area carries its own regime's
+// colour, and the scheduling variable is unclassified (bottom) — exactly the
+// paper's premise that scheduling state belongs to no one regime.
+func KernelSwapSpec(colours []Colour, from, to int) Spec {
+	regions := []Region{{
+		Name: "sched", Lo: kernel.SchedCurrentAddr(),
+		Hi: kernel.SchedCurrentAddr() + 1, Colour: ifa.IsolationBottom,
+	}}
+	for i, c := range colours {
+		regions = append(regions, Region{
+			Name:   fmt.Sprintf("save.%s", c),
+			Lo:     kernel.SaveBase(i),
+			Hi:     kernel.SaveBase(i) + kernel.SaveAreaStride,
+			Colour: c,
+		})
+	}
+	return Spec{
+		Name:    fmt.Sprintf("kernel-swap %s->%s", colours[from], colours[to]),
+		Entry:   colours[from],
+		Regions: regions,
+		Lattice: ifa.Isolation(colours...),
+	}
+}
+
+// AnalyzeKernelSwap assembles and analyzes the concrete switch sequence.
+func AnalyzeKernelSwap(colours []Colour, from, to int) (*Report, error) {
+	img, err := asm.Assemble(KernelSwapSource(from, to))
+	if err != nil {
+		return nil, fmt.Errorf("staticflow: assemble swap: %w", err)
+	}
+	return Analyze(img, KernelSwapSpec(colours, from, to))
+}
+
+// AnalyzeKernelSwapAbstract assembles and analyzes the abstract SWAP
+// specification under the same classification.
+func AnalyzeKernelSwapAbstract(colours []Colour, from, to int) (*Report, error) {
+	img, err := asm.Assemble(KernelSwapAbstractSource(to))
+	if err != nil {
+		return nil, fmt.Errorf("staticflow: assemble abstract swap: %w", err)
+	}
+	spec := KernelSwapSpec(colours, from, to)
+	spec.Name = fmt.Sprintf("kernel-swap-spec %s->%s", colours[from], colours[to])
+	return Analyze(img, spec)
+}
+
+// ProgramSpec classifies an ordinary regime program: the whole partition
+// [0, partWords) plus the owned-device segments carry the regime's own
+// colour. partWords 0 defaults to one 4K segment.
+func ProgramSpec(name string, colour Colour, peers []Colour, partWords Word) Spec {
+	if partWords == 0 {
+		partWords = 0x1000
+	}
+	regions := []Region{
+		{Name: "partition", Lo: 0, Hi: partWords, Colour: colour},
+		{Name: "devices", Lo: kernel.DeviceVirtBase(0),
+			Hi: kernel.DeviceVirtBase(3) + 0x1000, Colour: colour},
+	}
+	return Spec{Name: name, Entry: colour, Regions: regions, Peers: peers}
+}

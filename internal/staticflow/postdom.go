@@ -1,0 +1,139 @@
+package staticflow
+
+// Postdominators and control dependence over the CFG. Implicit flows in a
+// machine program have no syntactic block structure to lean on (the
+// structured-IR certifier in package ifa gets them for free from if/while
+// nesting), so the machine-level analyzer recovers them the standard way: a
+// block is control-dependent on a conditional branch iff the branch decides
+// whether the block executes, i.e. the block postdominates one successor of
+// the branch but not the branch itself.
+
+// postdoms computes, for each block, the set of blocks that postdominate it
+// (including itself), using the iterative dataflow formulation over a
+// virtual exit node. Blocks that cannot reach the exit (infinite loops with
+// no HALT/RTI) are given a synthetic exit edge, the usual pseudo-exit
+// treatment, so the computation converges for every program shape.
+func postdoms(g *CFG) []map[int]bool {
+	n := len(g.Blocks)
+	exit := n // virtual exit node
+
+	succs := make([][]int, n+1)
+	for i, b := range g.Blocks {
+		for _, e := range b.Succs {
+			succs[i] = append(succs[i], e.To)
+		}
+		if len(b.Succs) == 0 {
+			succs[i] = append(succs[i], exit)
+		}
+	}
+
+	// Pseudo-exit for exit-free cycles: any block that cannot reach the
+	// exit gets a direct synthetic edge to it.
+	reach := make([]bool, n+1)
+	reach[exit] = true
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if reach[i] {
+				continue
+			}
+			for _, s := range succs[i] {
+				if reach[s] {
+					reach[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			succs[i] = append(succs[i], exit)
+			reach[i] = true
+		}
+	}
+
+	// Iterative postdominator sets: pdom(exit) = {exit};
+	// pdom(b) = {b} ∪ ⋂ pdom(s) over successors s.
+	pdom := make([]map[int]bool, n+1)
+	pdom[exit] = map[int]bool{exit: true}
+	all := map[int]bool{}
+	for i := 0; i <= n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		pdom[i] = all // ⊤ start
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			var inter map[int]bool
+			for _, s := range succs[i] {
+				if inter == nil {
+					inter = copySet(pdom[s])
+					continue
+				}
+				for k := range inter {
+					if !pdom[s][k] {
+						delete(inter, k)
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[i] = true
+			if !equalSet(inter, pdom[i]) {
+				pdom[i] = inter
+				changed = true
+			}
+		}
+	}
+	return pdom[:n]
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func equalSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// controlDeps returns, for each block, the list of conditional-branch
+// blocks it is control-dependent on: Y depends on branch B iff Y
+// postdominates some successor of B but does not strictly postdominate B.
+func controlDeps(g *CFG) [][]int {
+	pdom := postdoms(g)
+	n := len(g.Blocks)
+	deps := make([][]int, n)
+	for bi, b := range g.Blocks {
+		if !b.CondBranch || len(b.Succs) < 2 {
+			continue
+		}
+		for y := 0; y < n; y++ {
+			if y != bi && pdom[bi][y] {
+				continue // y strictly postdominates the branch: runs anyway
+			}
+			for _, e := range b.Succs {
+				if pdom[e.To][y] {
+					deps[y] = append(deps[y], bi)
+					break
+				}
+			}
+		}
+	}
+	return deps
+}

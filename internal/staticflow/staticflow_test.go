@@ -1,0 +1,344 @@
+package staticflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+	"repro/internal/staticflow"
+)
+
+func assemble(t *testing.T, src string) *asm.Image {
+	t.Helper()
+	img, err := asm.Assemble(kernel.Prelude + src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+func analyze(t *testing.T, src string, spec staticflow.Spec) *staticflow.Report {
+	t.Helper()
+	rep, err := staticflow.Analyze(assemble(t, src), spec)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+// twoColour classifies a red program with a black-coloured window at
+// [0x500, 0x510) inside an otherwise red partition.
+func twoColour(name string) staticflow.Spec {
+	return staticflow.Spec{
+		Name:  name,
+		Entry: "red",
+		Regions: []staticflow.Region{
+			{Name: "black.window", Lo: 0x500, Hi: 0x510, Colour: "black"},
+			{Name: "partition", Lo: 0, Hi: 0x1000, Colour: "red"},
+		},
+	}
+}
+
+func TestExplicitFlowRejected(t *testing.T) {
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, R1
+		MOV R1, @0x100
+		HALT
+	`, twoColour("explicit"))
+	if rep.Certified() {
+		t.Fatalf("certified despite black->red move:\n%s", rep)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.From == "black" && v.Dst == "register R1" && !v.Implicit {
+			found = true
+			if len(v.Chain) == 0 {
+				t.Errorf("violation %s has no provenance chain", v)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no explicit black->R1 violation in:\n%s", rep)
+	}
+}
+
+func TestSameColourMoveCertified(t *testing.T) {
+	// A black regime shuffling black words stays certified. (A *red* regime
+	// doing the same move is rejected — MOV sets the condition codes, which
+	// belong to the executing context — so the entry colour must be black.)
+	spec := staticflow.Spec{
+		Name:  "samecolour",
+		Entry: "black",
+		Regions: []staticflow.Region{
+			{Name: "black.window", Lo: 0x500, Hi: 0x510, Colour: "black"},
+			{Name: "partition", Lo: 0, Hi: 0x1000, Colour: "red"},
+		},
+	}
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, @0x508
+		HALT
+	`, spec)
+	if !rep.Certified() {
+		t.Fatalf("black->black store rejected:\n%s", rep)
+	}
+}
+
+func TestFlagResidueRejected(t *testing.T) {
+	// The dual of the test above: the same move performed by a red regime
+	// is rejected purely because MOV leaves the black word's residue in the
+	// condition codes.
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, @0x508
+		HALT
+	`, twoColour("flagresidue"))
+	if rep.Certified() {
+		t.Fatalf("flag residue not flagged:\n%s", rep)
+	}
+	if got := rep.Violations[0].Dst; got != "condition codes" {
+		t.Errorf("violation dst = %q, want condition codes", got)
+	}
+}
+
+func TestImplicitFlowRejected(t *testing.T) {
+	// A black regime branches on its own data, then stores a constant into
+	// a red window: nothing red is read, but the store is control-dependent
+	// on black state.
+	spec := staticflow.Spec{
+		Name:  "implicit",
+		Entry: "black",
+		Regions: []staticflow.Region{
+			{Name: "red.window", Lo: 0x500, Hi: 0x510, Colour: "red"},
+			{Name: "partition", Lo: 0, Hi: 0x1000, Colour: "black"},
+		},
+	}
+	rep := analyze(t, `
+		.org 0x40
+	start:	CMP #0, R1
+		BEQ skip
+		MOV #1, @0x500
+	skip:	HALT
+	`, spec)
+	if rep.Certified() {
+		t.Fatalf("certified despite implicit flow:\n%s", rep)
+	}
+	var hit *staticflow.Flow
+	for i := range rep.Violations {
+		if strings.Contains(rep.Violations[i].Dst, "red.window") {
+			hit = &rep.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no violation on the red window in:\n%s", rep)
+	}
+	if !hit.Implicit {
+		t.Errorf("violation not marked implicit: %s", *hit)
+	}
+}
+
+func TestStraightLineConstantStoreCertified(t *testing.T) {
+	// Same store, no branch: a constant into one's own partition is fine.
+	spec := staticflow.ProgramSpec("const", "black", nil, 0x1000)
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV #1, @0x500
+		HALT
+	`, spec)
+	if !rep.Certified() {
+		t.Fatalf("constant store rejected:\n%s", rep)
+	}
+}
+
+func TestChannelEndpointsSanctioned(t *testing.T) {
+	spec := staticflow.ProgramSpec("echoish", "red", []staticflow.Colour{"black"}, 0x1000)
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV #0, R0
+		TRAP #RECV
+		MOV #0, R0
+		TRAP #SEND
+		MOV R1, @0x100
+		HALT
+	`, spec)
+	if !rep.Certified() {
+		t.Fatalf("cut channel use rejected:\n%s", rep)
+	}
+	if len(rep.Channels) != 2 {
+		t.Fatalf("channel flows = %d, want 2 (SEND+RECV):\n%s", len(rep.Channels), rep)
+	}
+}
+
+func TestUncutChannelRejected(t *testing.T) {
+	spec := staticflow.ProgramSpec("uncut", "red", []staticflow.Colour{"black"}, 0x1000)
+	spec.Uncut = true
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV #0, R0
+		TRAP #RECV
+		MOV R1, @0x100
+		HALT
+	`, spec)
+	if rep.Certified() {
+		t.Fatalf("uncut channel import certified:\n%s", rep)
+	}
+}
+
+func TestLoopConverges(t *testing.T) {
+	spec := staticflow.ProgramSpec("counterish", "red", nil, 0x1000)
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV #0, R2
+	loop:	ADD #1, R2
+		MOV R2, @0x20
+		TRAP #SWAP
+		BR loop
+	`, spec)
+	if !rep.Certified() {
+		t.Fatalf("counter loop rejected:\n%s", rep)
+	}
+	if rep.Instrs == 0 || rep.Blocks < 2 {
+		t.Errorf("suspicious CFG: %d instrs, %d blocks", rep.Instrs, rep.Blocks)
+	}
+}
+
+func TestIRQHandlerDiscoveredAndAnalyzed(t *testing.T) {
+	// The handler stores a black-window word into the red partition; it is
+	// only reachable through the vector install, so a violation inside it
+	// proves interrupt edges are part of the CFG.
+	spec := staticflow.Spec{
+		Name:  "irq",
+		Entry: "red",
+		Regions: []staticflow.Region{
+			{Name: "black.window", Lo: 0x500, Hi: 0x510, Colour: "black"},
+			{Name: "partition", Lo: 0, Hi: 0x1000, Colour: "red"},
+		},
+	}
+	img := assemble(t, `
+		.org 0x40
+	start:	MOV #isr, @VECBASE
+		TRAP #WAITIRQ
+		BR start
+	isr:	MOV @0x500, @0x100
+		RTI
+	`)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	if len(g.IRQRoots) != 1 {
+		t.Fatalf("IRQRoots = %v, want one handler", g.IRQRoots)
+	}
+	rep := staticflow.AnalyzeCFG(g, spec)
+	if rep.Certified() {
+		t.Fatalf("handler's black->red store missed:\n%s", rep)
+	}
+}
+
+func TestKernelSwapRejectedAbstractCertified(t *testing.T) {
+	colours := []staticflow.Colour{"red", "black"}
+	conc, err := staticflow.AnalyzeKernelSwap(colours, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Certified() {
+		t.Fatalf("concrete SWAP certified — the analyzer lost the paper's point:\n%s", conc)
+	}
+	// Every violation must stem from the incoming (black) side; the saving
+	// half of the sequence is clean.
+	for _, v := range conc.Violations {
+		if v.From != "black" {
+			t.Errorf("unexpected violation source %s: %s", v.From, v)
+		}
+	}
+	abs, err := staticflow.AnalyzeKernelSwapAbstract(colours, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abs.Certified() {
+		t.Fatalf("abstract SWAP rejected:\n%s", abs)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	colours := []staticflow.Colour{"red", "black"}
+	a, err := staticflow.AnalyzeKernelSwap(colours, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := staticflow.AnalyzeKernelSwap(colours, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("reports differ across runs:\n---\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestUnmappedAccessWarns(t *testing.T) {
+	spec := staticflow.Spec{
+		Name:    "unmapped",
+		Entry:   "red",
+		Regions: []staticflow.Region{{Name: "partition", Lo: 0, Hi: 0x100, Colour: "red"}},
+	}
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV @0x7000, R1
+		HALT
+	`, spec)
+	if len(rep.Warnings) == 0 {
+		t.Errorf("no warning for unmapped read:\n%s", rep)
+	}
+}
+
+func TestIndirectStoreCheckedAgainstAllRegions(t *testing.T) {
+	rep := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, R1
+		MOV #0x100, R2
+		MOV R1, (R2)
+		HALT
+	`, twoColour("indirect"))
+	hit := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.Dst, "may reach partition") {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("indirect store of black value not flagged against red region:\n%s", rep)
+	}
+}
+
+func TestTwoPointLattice(t *testing.T) {
+	// With a proper ordering (low ⊑ high) instead of isolation, a low->high
+	// move is certified and high->low rejected.
+	spec := staticflow.Spec{
+		Name:  "twopoint",
+		Entry: ifa.High,
+		Regions: []staticflow.Region{
+			{Name: "low.window", Lo: 0x500, Hi: 0x510, Colour: ifa.Low},
+			{Name: "partition", Lo: 0, Hi: 0x1000, Colour: ifa.High},
+		},
+		Lattice: ifa.TwoPoint(),
+	}
+	up := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, @0x100
+		HALT
+	`, spec)
+	if !up.Certified() {
+		t.Fatalf("low->high rejected under TwoPoint:\n%s", up)
+	}
+	down := analyze(t, `
+		.org 0x40
+	start:	MOV @0x100, @0x500
+		HALT
+	`, spec)
+	if down.Certified() {
+		t.Fatalf("high->low certified under TwoPoint:\n%s", down)
+	}
+}
