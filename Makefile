@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench lint fuzz-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -29,8 +29,16 @@ race:
 test:
 	$(GO) test ./...
 
-# Experiment benchmarks (E1..E11); see EXPERIMENTS.md. The results are
+# Experiment benchmarks (E1..E13); see EXPERIMENTS.md. The results are
 # also parsed into BENCH_verify.json (name, ns/op, speedup-x, workers,
-# GOMAXPROCS) for machine consumption.
+# GOMAXPROCS) for machine consumption. A committed baseline lives at
+# BENCH_verify.json; regenerate it with this target when the experiment
+# set changes.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' | $(GO) run ./cmd/benchjson -out BENCH_verify.json
+
+# One-iteration benchmark smoke for CI: exercises every experiment once
+# and emits the same JSON schema as `make bench` without the cost of
+# steady-state timing (the numbers are NOT comparable to the baseline).
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' | $(GO) run ./cmd/benchjson -out BENCH_smoke.json

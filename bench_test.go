@@ -1,7 +1,7 @@
 package repro
 
 // The benchmark harness: one benchmark per experiment in EXPERIMENTS.md
-// (E1..E11). The paper is a 1981 position paper without numbered tables, so
+// (E1..E13). The paper is a 1981 position paper without numbered tables, so
 // each benchmark regenerates one *checkable claim* from the text; custom
 // metrics (b.ReportMetric) carry the experiment's actual observables
 // alongside the usual ns/op.
@@ -27,6 +27,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/mls"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/separability"
 	"repro/internal/snfe"
@@ -525,6 +526,75 @@ func BenchmarkE11TracingOverhead(b *testing.B) {
 	b.Run("untraced", func(b *testing.B) { run(b, nil) })
 	b.Run("nop", func(b *testing.B) { run(b, obs.Nop{}) })
 	b.Run("ring", func(b *testing.B) { run(b, obs.NewRing(4096)) })
+}
+
+// BenchmarkE13DeltaSnapshot — the delta-snapshot optimisation: the same
+// randomized condition-checking workload over the kernel system, once
+// through the legacy full Save/Restore path (the adapter's Checkpointer
+// hidden behind a noCheckpoint wrapper) and once through the O(dirty)
+// Checkpoint/Rollback path. B/op is the proxy for bytes copied per checked
+// state; the acceptance bar is a ≥3× reduction. Both paths must agree on
+// the verifier's verdict byte-for-byte — asserted here, and in depth by
+// TestDeltaPathMatchesFullSnapshots.
+func BenchmarkE13DeltaSnapshot(b *testing.B) {
+	opt := separability.Options{
+		Trials: 2, StepsPerTrial: 30, Seed: 7, Workers: 1,
+	}
+	run := func(b *testing.B, hideCheckpointer bool) string {
+		sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var p model.Perturbable = sys
+		if hideCheckpointer {
+			p = noCheckpoint{sys}
+		}
+		var sum string
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum = separability.CheckRandomized(p, opt).Summary()
+		}
+		return sum
+	}
+	var full, delta string
+	b.Run("full-snapshot", func(b *testing.B) { full = run(b, true) })
+	b.Run("delta", func(b *testing.B) { delta = run(b, false) })
+	if full != delta {
+		b.Fatalf("verdicts diverged:\n full:  %s\n delta: %s", full, delta)
+	}
+
+	// The digest micro-benchmark: Φ digest lookup under an active delta
+	// (incremental cache hit) vs. rendering the abstraction and hashing it
+	// (the FNV oracle the cache must agree with).
+	sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	colours := sys.Colours()
+	b.Run("digest-oracle", func(b *testing.B) {
+		var d uint64
+		for i := 0; i < b.N; i++ {
+			d = model.DigestString(sys.Abstract(colours[i%len(colours)]))
+		}
+		_ = d
+	})
+	b.Run("digest-cached", func(b *testing.B) {
+		cp := sys.Checkpoint()
+		if cp == nil {
+			b.Fatal("Checkpoint unavailable")
+		}
+		defer sys.Release(cp)
+		for _, c := range colours { // warm the per-colour entries
+			sys.AbstractDigest(c)
+		}
+		var d uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d = sys.AbstractDigest(colours[i%len(colours)])
+		}
+		_ = d
+	})
 }
 
 const swapLoop = `

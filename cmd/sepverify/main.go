@@ -47,8 +47,8 @@ func realMain() int {
 	steps := flag.Int("steps", 100, "states checked per trace")
 	seed := flag.Int64("seed", 1, "exploration seed")
 	sched := flag.Bool("sched", true, "include the scheduling-independence extension")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"checker goroutines to shard trials across (results are identical for any value)")
+	workers := flag.Int("workers", 0,
+		"checker goroutines to shard trials across; 0 = one per CPU core (results are identical for any value)")
 	exhaustive := flag.Bool("exhaustive", false,
 		"run the exhaustive proofs (MiniSUE + toy calibration) instead of the kernel check")
 	metrics := flag.Bool("metrics", false,
@@ -267,6 +267,21 @@ func reportMetrics(reg *obs.Registry, elapsed time.Duration, format string) {
 	fmt.Println("  per-condition checks:")
 	for _, cv := range reg.Counters() {
 		if strings.HasPrefix(cv.Name, "sep_checks_total{") {
+			fmt.Printf("    %-40s %d\n", cv.Name, cv.Value)
+		}
+	}
+
+	// Per-operation-class attribution (only present when the checked
+	// system classifies its operations).
+	var perOp []obs.CounterValue
+	for _, cv := range reg.Counters() {
+		if strings.HasPrefix(cv.Name, "sep_checks_by_op_total{") {
+			perOp = append(perOp, cv)
+		}
+	}
+	if len(perOp) > 0 {
+		fmt.Println("  per-op checks:")
+		for _, cv := range perOp {
 			fmt.Printf("    %-40s %d\n", cv.Name, cv.Value)
 		}
 	}

@@ -183,7 +183,8 @@ type VerifyOptions struct {
 	Seed            int64
 	CheckScheduling bool
 	// Workers shards trials across checker goroutines, each on a replica
-	// of the system (0 or 1 = single-threaded; results are identical).
+	// of the system (0 = one worker per CPU core, 1 = single-threaded;
+	// results are identical for any value).
 	Workers int
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/machine"
@@ -53,6 +54,10 @@ type Adapter struct {
 
 	// PerturbWords bounds how many words each perturbation touches.
 	PerturbWords int
+
+	// phi caches per-regime Φ digests during delta checkpoints; built
+	// lazily on first Checkpoint (see phicache.go).
+	phi *phiCache
 }
 
 // KernelColour is returned by Colour for states where the next operation
@@ -157,9 +162,11 @@ func (a *Adapter) ApplyInput(i model.Input) {
 	if i != nil {
 		iv := i.(InputVec)
 		for _, d := range a.K.m.Devices() {
-			if sink, ok := d.(machine.InputSink); ok {
+			if _, ok := d.(machine.InputSink); ok {
 				if ws := iv[d.Name()]; len(ws) > 0 {
-					sink.InjectInput(ws)
+					// Injection goes through the machine so delta tracking
+					// sees the device mutation.
+					a.K.m.Inject(d, ws)
 				}
 			}
 		}
@@ -209,10 +216,18 @@ func (a *Adapter) Abstract(c model.Colour) string {
 // the canonical Φ^c encoding, streamed without materializing the string.
 // This is the comparison the checkers' hot paths use; both views render
 // through the same code path, so they hash the same bytes by construction.
+// During a delta checkpoint the digest is served from the per-regime cache
+// when provably fresh (see phicache.go); the full rendering stays the
+// oracle, so the returned value is identical either way.
 func (a *Adapter) AbstractDigest(c model.Colour) uint64 {
+	if dig, ok := a.cachedDigest(c); ok {
+		return dig
+	}
 	d := model.NewDigest64()
 	a.renderPhi(c, d)
-	return d.Sum64()
+	dig := d.Sum64()
+	a.storeDigest(c, dig)
+	return dig
 }
 
 // renderPhi writes the canonical Φ^c encoding of the current state into b.
@@ -283,6 +298,30 @@ func (a *Adapter) renderPhi(c model.Colour, b phiSink) {
 			}
 		}
 	}
+}
+
+// ClassifyOp implements model.OpClassifier: collapse OpIDs (which embed
+// program counters and instruction words — unbounded cardinality) into
+// stable metric buckets. User operations are bucketed by decoded mnemonic:
+// "user:red@0040:1234" becomes "user:MOV".
+func (a *Adapter) ClassifyOp(op model.OpID) string {
+	s := string(op)
+	if strings.HasPrefix(s, "user:") {
+		if i := strings.LastIndexByte(s, ':'); i >= 0 {
+			suf := s[i+1:]
+			if suf == "unfetchable" {
+				return "user:unfetchable"
+			}
+			if w, err := strconv.ParseUint(suf, 16, 16); err == nil {
+				return "user:" + machine.OpName(machine.DecodeOp(Word(w)))
+			}
+		}
+		return "user"
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // ExtractInput implements model.SharedSystem.

@@ -1,6 +1,6 @@
 // Package lint enforces the repository's security-architecture invariants
 // over the Go sources themselves — the repo-level analogue of what package
-// staticflow does to machine programs. Three rules, all purely syntactic
+// staticflow does to machine programs. Four rules, all purely syntactic
 // (go/ast, no external dependencies):
 //
 //   - obs-zero-dep: internal/obs is the observability layer every subsystem
@@ -12,6 +12,13 @@
 //     loader) may call the machine's raw state mutators. Everything else
 //     reaches machine state through the kernel's Φ abstraction (the
 //     adapter), never into another colour's registers or memory directly.
+//
+//   - raw-device-access: outside internal/machine, device state is mutated
+//     only through the machine's write-barrier entry points
+//     (machine.Inject, Restore, the I/O page). Calling a Device's own
+//     mutators (InjectInput, WriteReg, RestoreState, ...) directly would
+//     bypass delta-snapshot dirty tracking and silently corrupt O(dirty)
+//     rollback, so the linter forbids it.
 //
 //   - obs-hook-pure: tracing hooks observe, they never mutate. Inside a
 //     tracer-guarded region (an `if x.tracer != nil` body, code following an
@@ -52,6 +59,16 @@ var rawMutators = map[string]bool{
 	"SetReg": true, "SetPC": true, "SetPSW": true, "SetAltSP": true,
 	"SetSeg": true, "WritePhys": true, "LoadImage": true, "SetVector": true,
 	"ClearRAM": true, "ClearWaiting": true, "TickDevices": true,
+	"DeltaRestore": true,
+}
+
+// deviceMutators are Device methods that write device state without passing
+// through the machine's write barrier. Only internal/machine (which owns
+// the barrier) may call them; everyone else goes through machine.Inject or
+// the I/O page so delta snapshots journal the mutation.
+var deviceMutators = map[string]bool{
+	"InjectInput": true, "InjectString": true, "DrainOutput": true,
+	"RestoreState": true, "WriteReg": true,
 }
 
 // mutatorAllowed lists package directories that may call raw mutators.
@@ -113,6 +130,9 @@ func lintFile(fset *token.FileSet, path, dir string) ([]Diagnostic, error) {
 	if !isTest && !mutatorAllowed[dir] {
 		l.checkRawAccess(f)
 	}
+	if !isTest && dir != "internal/machine" {
+		l.checkDeviceAccess(f)
+	}
 	if !isTest && mutatorAllowed[dir] {
 		l.checkHookPurity(f)
 	}
@@ -156,6 +176,23 @@ func (l *linter) checkRawAccess(f *ast.File) {
 		}
 		l.report(call.Pos(), "raw-machine-access",
 			"%s writes raw machine state; go through the kernel adapter (Φ) instead", sel.Sel.Name)
+		return true
+	})
+}
+
+// checkDeviceAccess enforces raw-device-access.
+func (l *linter) checkDeviceAccess(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !deviceMutators[sel.Sel.Name] {
+			return true
+		}
+		l.report(call.Pos(), "raw-device-access",
+			"%s mutates device state behind the write barrier; use machine.Inject (or the I/O page) so delta snapshots stay sound", sel.Sel.Name)
 		return true
 	})
 }

@@ -82,6 +82,25 @@ func f(m interface{ SetReg(int, uint16) }) { m.SetReg(0, 1) }
 	}
 }
 
+func TestRawDeviceAccess(t *testing.T) {
+	root := t.TempDir()
+	const offender = `package x
+func f(d interface{ InjectInput([]uint16) bool }) { d.InjectInput(nil) }
+`
+	write(t, root, "internal/kernel/x.go", strings.Replace(offender, "package x", "package kernel", 1))
+	// Only internal/machine itself owns the write barrier.
+	write(t, root, "internal/machine/x.go", strings.Replace(offender, "package x", "package machine", 1))
+	// And tests may poke devices directly.
+	write(t, root, "internal/kernel/x_test.go", strings.Replace(offender, "func f", "func g", 1))
+	diags := runLint(t, root)
+	if len(diags) != 1 || diags[0].Rule != "raw-device-access" {
+		t.Fatalf("diags = %v, want one raw-device-access in internal/kernel", diags)
+	}
+	if !strings.Contains(diags[0].Pos.Filename, filepath.FromSlash("internal/kernel/x.go")) {
+		t.Errorf("flagged wrong file: %s", diags[0].Pos)
+	}
+}
+
 func TestHookPurity(t *testing.T) {
 	root := t.TempDir()
 	write(t, root, "internal/kernel/hooks.go", `package kernel

@@ -29,6 +29,15 @@ type Machine struct {
 	devices []Device
 	devBase []Word
 	devVec  []Word
+	// devVer counts (potential) mutations per device; see DeviceVersion.
+	devVer []uint64
+
+	// Delta-snapshot write-barrier state (see delta.go). dirtyMark/dirtyEpoch
+	// implement O(1)-reset first-touch dedup for the active delta's undo log.
+	delta      *Delta
+	dirtyMark  []uint32
+	dirtyEpoch uint32
+	deltaGen   uint64
 
 	cycles uint64
 
@@ -72,13 +81,22 @@ func (m *Machine) Reset() {
 	m.trapCode = 0
 	m.cycles = 0
 	m.Fault = nil
-	for _, d := range m.devices {
+	for i, d := range m.devices {
+		m.touchDevice(i)
 		d.Reset()
 	}
 }
 
 // ClearRAM zeroes all of RAM.
 func (m *Machine) ClearRAM() {
+	if m.delta != nil {
+		for i := range m.ram {
+			if m.ram[i] != 0 {
+				m.writeRAM(Word(i), 0)
+			}
+		}
+		return
+	}
 	for i := range m.ram {
 		m.ram[i] = 0
 	}
@@ -98,6 +116,7 @@ func (m *Machine) Attach(d Device) Handle {
 	m.devices = append(m.devices, d)
 	m.devBase = append(m.devBase, base)
 	m.devVec = append(m.devVec, vec)
+	m.devVer = append(m.devVer, 0)
 	d.Reset()
 	return Handle{Base: base, Vector: vec}
 }
@@ -201,14 +220,20 @@ func (m *Machine) LoadImage(org Word, words []Word) error {
 	if int(org)+len(words) > m.ramWords {
 		return fmt.Errorf("machine: image %d words at %#x exceeds RAM", len(words), org)
 	}
+	if m.delta != nil {
+		for i, w := range words {
+			m.writeRAM(org+Word(i), w)
+		}
+		return nil
+	}
 	copy(m.ram[org:], words)
 	return nil
 }
 
 // SetVector installs [pc, psw] at trap/interrupt vector vec.
 func (m *Machine) SetVector(vec, pc, psw Word) {
-	m.ram[vec] = pc
-	m.ram[vec+1] = psw
+	m.writeRAM(vec, pc)
+	m.writeRAM(vec+1, psw)
 }
 
 // --- physical memory and I/O dispatch ---
@@ -225,7 +250,7 @@ func (m *Machine) physRead(a Word) (Word, bool) {
 
 func (m *Machine) physWrite(a Word, v Word) bool {
 	if int(a) < m.ramWords {
-		m.ram[a] = v
+		m.writeRAM(a, v)
 		return true
 	}
 	if a >= IOBase {
@@ -248,6 +273,10 @@ func (m *Machine) ioRead(a Word) (Word, bool) {
 	for i, d := range m.devices {
 		base := m.devBase[i]
 		if a >= base && int(a-base) < d.Size() {
+			// Some device registers have read side effects (a TTY read
+			// consumes the pending character), so a register read counts as
+			// a device mutation for delta tracking.
+			m.touchDevice(i)
 			return d.ReadReg(int(a - base)), true
 		}
 	}
@@ -272,6 +301,7 @@ func (m *Machine) ioWrite(a Word, v Word) bool {
 	for i, d := range m.devices {
 		base := m.devBase[i]
 		if a >= base && int(a-base) < d.Size() {
+			m.touchDevice(i)
 			d.WriteReg(int(a-base), v)
 			return true
 		}
@@ -354,7 +384,7 @@ func (m *Machine) trap(vec Word) {
 			m.machineCheck(fmt.Errorf("trap stack push outside RAM at %#x", m.regs[RegSP]))
 			return false
 		}
-		m.ram[m.regs[RegSP]] = v
+		m.writeRAM(m.regs[RegSP], v)
 		return true
 	}
 	if !push(oldPSW) || !push(oldPC) {
@@ -388,13 +418,15 @@ func (m *Machine) highestPending() (int, bool) {
 // phase of a time step: all I/O device activity happens here.
 func (m *Machine) TickDevices() {
 	if m.events == nil {
-		for _, d := range m.devices {
+		for i, d := range m.devices {
+			m.touchDevice(i)
 			d.Tick()
 		}
 		return
 	}
 	for i, d := range m.devices {
 		was := d.Pending()
+		m.touchDevice(i)
 		d.Tick()
 		if !was && d.Pending() {
 			m.events.Emit(obs.Event{Cycle: m.cycles, Kind: obs.EvIRQRaise,
@@ -431,6 +463,7 @@ func (m *Machine) StepCPU() {
 	}
 	m.cycles++
 	if i, ok := m.highestPending(); ok {
+		m.touchDevice(i)
 		m.devices[i].Ack()
 		m.trap(m.devVec[i])
 		return

@@ -65,8 +65,21 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.halted = s.Halted
 	m.waiting = s.Waiting
 	m.trapCode = s.TrapCode
-	copy(m.ram, s.RAM)
+	if m.delta != nil {
+		// A full restore under an active delta must journal like any other
+		// write, so DeltaRestore can still undo it: diff word-by-word
+		// (typically few words differ between checker states) and touch
+		// every device.
+		for i, v := range s.RAM {
+			if m.ram[i] != v {
+				m.writeRAM(Word(i), v)
+			}
+		}
+	} else {
+		copy(m.ram, s.RAM)
+	}
 	for i, d := range m.devices {
+		m.touchDevice(i)
 		d.RestoreState(s.Devices[i])
 	}
 	return nil

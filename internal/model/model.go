@@ -189,6 +189,54 @@ func (d *Digest64) WriteByte(b byte) error {
 // Sum64 returns the digest of everything written so far.
 func (d *Digest64) Sum64() uint64 { return d.h }
 
+// Checkpoint is an opaque handle to a delta checkpoint taken by a
+// Checkpointer.
+type Checkpoint interface{}
+
+// Checkpointer is optionally implemented by systems that can roll back to a
+// recent point in O(state actually touched) instead of the O(whole state)
+// that Save/Restore costs. The checkers anchor every per-state condition
+// sweep on a Checkpoint when one is available and fall back to Save/Restore
+// otherwise; both paths must produce identical observable behaviour.
+type Checkpointer interface {
+	// Checkpoint begins tracking mutations from the current state and
+	// returns a handle for rolling back to it. It returns nil when delta
+	// tracking is unavailable right now (for example a checkpoint is
+	// already active); the caller must then use Save/Restore.
+	Checkpoint() Checkpoint
+	// Rollback returns the system to the checkpoint state. Tracking
+	// continues: the system may be mutated and rolled back repeatedly.
+	Rollback(Checkpoint)
+	// Release rolls back to the checkpoint state and ends tracking,
+	// recycling the checkpoint's buffers. The handle is dead afterwards.
+	Release(Checkpoint)
+}
+
+// OpClassifier is optionally implemented by systems that can map an OpID to
+// a low-cardinality operation class for metrics (OpIDs themselves embed
+// state detail like program counters, far too many distinct values to
+// count). Classes should be stable, human-meaningful buckets — "user:MOV",
+// "syscall", "deliver-irq".
+type OpClassifier interface {
+	ClassifyOp(op OpID) string
+}
+
+// OpClass buckets op for per-operation metrics: via the system's own
+// OpClassifier when present, else by truncating the OpID at its first ':'
+// (the conventional "kind:detail" shape of OpIDs).
+func OpClass(sys SharedSystem, op OpID) string {
+	if c, ok := sys.(OpClassifier); ok {
+		return c.ClassifyOp(op)
+	}
+	s := string(op)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
 // Perturbable is implemented by systems too large to enumerate; the checker
 // samples random reachable states and perturbs the parts of the state that
 // a given colour should not be able to observe.

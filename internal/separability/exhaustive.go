@@ -41,10 +41,14 @@ func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
 }
 
 // CheckExhaustiveWorkers is CheckExhaustive with an explicit worker count
-// (<=1 = single-threaded). Results are identical for every worker count.
+// (1 = single-threaded; 0 = one worker per CPU core). Results are identical
+// for every worker count.
 func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *Result {
 	if maxViolations <= 0 {
 		maxViolations = 64
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	var states []model.StateRef
@@ -160,10 +164,14 @@ func replicate(sys model.Enumerable, n int) []model.Enumerable {
 }
 
 // precompute gathers one state's stateInfo on the given system instance.
+// The per-input resets anchor on a stateScope so Checkpointer systems pay
+// O(words touched) per reset instead of a full Restore.
 func precompute(sys model.Enumerable, ref model.StateRef,
 	colours []model.Colour, inputs []model.Input) *stateInfo {
 
 	sys.Restore(ref)
+	sc := openScopeAt(sys, ref)
+	defer sc.close()
 	info := &stateInfo{
 		ref:    ref,
 		colour: sys.Colour(),
@@ -184,7 +192,7 @@ func precompute(sys model.Enumerable, ref model.StateRef,
 		info.phiOp[ci] = model.AbstractDigest(sys, c)
 	}
 	for ii, in := range inputs {
-		sys.Restore(ref)
+		sc.reset()
 		phiIn := make([]uint64, len(colours))
 		inEx := make([]string, len(colours))
 		for ci, c := range colours {
@@ -231,12 +239,25 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 	res := &Result{Checks: map[Condition]int{}}
 	tooMany := func() bool { return len(res.Violations) >= maxViolations }
 
+	// cls memoizes operation classes: OpIDs repeat heavily across states,
+	// and classification may decode instruction words.
+	opClass := map[model.OpID]string{}
+	cls := func(op model.OpID) string {
+		s, ok := opClass[op]
+		if !ok {
+			s = model.OpClass(sys, op)
+			opClass[op] = s
+		}
+		return s
+	}
+
 	// Condition 2 (single-state).
 	for si, info := range infos {
 		if info.colour == c {
 			continue
 		}
 		res.count(Condition2)
+		res.countOp(cls(info.op), 1)
 		if info.phiOp[ci] != info.phi[ci] {
 			res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
 				Step: si, Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
@@ -261,6 +282,10 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 		lead := infos[bucket[0]]
 		for _, si := range bucket[1:] {
 			info := infos[si]
+
+			// One condition-5 check plus one condition-3 check per input,
+			// all attributed to this member's operation.
+			res.countOp(cls(info.op), 1+len(inputs))
 
 			// Condition 5: outputs agree across the bucket.
 			res.count(Condition5)
@@ -296,6 +321,7 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 			lead := infos[activeIdx[0]]
 			for _, si := range activeIdx[1:] {
 				info := infos[si]
+				res.countOp(cls(info.op), 2)
 				res.count(Condition6)
 				if info.op != lead.op {
 					res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
@@ -317,15 +343,18 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 	// Condition 4: per state, inputs grouped by EXTRACT(c, i).
 	for si, info := range infos {
 		groups := map[string]int{}
+		checked := 0
 		for ii := range inputs {
 			key := info.inEx[ii][ci]
 			if first, ok := groups[key]; ok {
 				res.count(Condition4)
+				checked++
 				if info.phiIn[ii][ci] != info.phiIn[first][ci] {
 					res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
 						Step: si, Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
 							first, ii)})
 					if tooMany() {
+						res.countOp(cls(info.op), checked)
 						return res
 					}
 				}
@@ -333,6 +362,7 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 				groups[key] = ii
 			}
 		}
+		res.countOp(cls(info.op), checked)
 	}
 	return res
 }

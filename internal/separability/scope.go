@@ -1,0 +1,52 @@
+package separability
+
+import "repro/internal/model"
+
+// stateScope anchors a restore point for one per-state condition sweep,
+// preferring the O(dirty) model.Checkpointer API (delta snapshots) and
+// falling back to Save/Restore for systems without it. Both paths leave
+// identical observable behaviour: reset() returns the system to the anchor
+// state, close() does the same and releases any checkpoint resources.
+type stateScope struct {
+	sys model.SharedSystem
+	ckp model.Checkpointer
+	cp  model.Checkpoint
+	ref model.StateRef
+}
+
+// openScope anchors at the system's current state.
+func openScope(sys model.SharedSystem) *stateScope { return openScopeAt(sys, nil) }
+
+// openScopeAt anchors at the system's current state; ref, when non-nil, is
+// an existing StateRef of that same state, reused to avoid a redundant
+// Save on the fallback path.
+func openScopeAt(sys model.SharedSystem, ref model.StateRef) *stateScope {
+	sc := &stateScope{sys: sys}
+	if ckp, ok := sys.(model.Checkpointer); ok {
+		if cp := ckp.Checkpoint(); cp != nil {
+			sc.ckp, sc.cp = ckp, cp
+			return sc
+		}
+	}
+	if ref == nil {
+		ref = sys.Save()
+	}
+	sc.ref = ref
+	return sc
+}
+
+func (sc *stateScope) reset() {
+	if sc.ckp != nil {
+		sc.ckp.Rollback(sc.cp)
+		return
+	}
+	sc.sys.Restore(sc.ref)
+}
+
+func (sc *stateScope) close() {
+	if sc.ckp != nil {
+		sc.ckp.Release(sc.cp)
+		return
+	}
+	sc.sys.Restore(sc.ref)
+}

@@ -34,6 +34,7 @@ package separability
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +107,11 @@ type Result struct {
 	Violations []Violation
 	// Checks counts how many instances of each condition were verified.
 	Checks map[Condition]int
+	// OpChecks buckets the verified condition instances by the operation
+	// class of the checked state (model.OpClass of its NEXTOP), feeding the
+	// metrics-guided exploration work: under-exercised operation classes
+	// show up as small buckets.
+	OpChecks map[string]int
 	// States counts the sampled states conditions were checked at.
 	States int
 }
@@ -136,6 +142,26 @@ func (r *Result) countN(c Condition, n int) {
 	r.Checks[c] += n
 }
 
+func (r *Result) countOp(class string, n int) {
+	if n == 0 {
+		return
+	}
+	if r.OpChecks == nil {
+		r.OpChecks = map[string]int{}
+	}
+	r.OpChecks[class] += n
+}
+
+// totalChecks sums Checks across conditions; checkState uses before/after
+// totals to attribute a state's checks to its operation class.
+func (r *Result) totalChecks() int {
+	total := 0
+	for _, n := range r.Checks {
+		total += n
+	}
+	return total
+}
+
 // Merge folds other into r: violations are appended in other's order and
 // check counts are summed. Like every Result method it must be called from
 // one goroutine at a time; the engines merge worker-private Results in
@@ -150,6 +176,9 @@ func (r *Result) Merge(other *Result) {
 	}
 	for c, n := range other.Checks {
 		r.countN(c, n)
+	}
+	for class, n := range other.OpChecks {
+		r.countOp(class, n)
 	}
 	r.States += other.States
 }
@@ -186,7 +215,8 @@ type Options struct {
 	// Colours restricts checking to these colours (nil = all).
 	Colours []model.Colour
 	// Workers shards the trials across this many checker goroutines, each
-	// owning a private replica of the system (0 or 1 = single-threaded).
+	// owning a private replica of the system (1 = single-threaded;
+	// 0 = one worker per CPU core, runtime.GOMAXPROCS(0)).
 	// Using more than one worker requires the system to implement
 	// model.Replicable (or use CheckRandomizedParallel with a factory);
 	// non-replicable systems are checked single-threaded regardless.
@@ -197,6 +227,7 @@ type Options struct {
 	//
 	//	sep_trials_total, sep_states_checked_total,
 	//	sep_violations_total, sep_checks_total{condition="..."},
+	//	sep_checks_by_op_total{op="..."},
 	//	sep_trial_seconds (histogram), and per worker
 	//	sep_worker_trials_total{worker="N"},
 	//	sep_worker_states_total{worker="N"},
@@ -230,6 +261,9 @@ func (o *Options) fill() {
 	}
 	if o.InputEvery == 0 {
 		o.InputEvery = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -419,6 +453,9 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 		for c, n := range res.Checks {
 			reg.Counter(fmt.Sprintf("sep_checks_total{condition=%q}", c.String())).Add(uint64(n))
 		}
+		for class, n := range res.OpChecks {
+			reg.Counter(fmt.Sprintf("sep_checks_by_op_total{op=%q}", class)).Add(uint64(n))
+		}
 		reg.Histogram("sep_trial_seconds", trialSecondsBounds).
 			Observe(time.Since(start).Seconds())
 	}
@@ -434,20 +471,31 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 // path where a violation needs a human-readable Detail. A digest collision
 // could mask a real violation with probability ~2^-64 per comparison,
 // which is far below the residual risk of sampling itself.
+//
+// The sweep anchors on a stateScope, so systems implementing
+// model.Checkpointer pay O(words touched) per reset instead of O(state);
+// the check sequence (and every RNG draw) is identical on both paths.
 func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	res *Result, trial, step int, opt Options) {
 
-	s0 := sys.Save()
-	defer sys.Restore(s0)
+	sc := openScope(sys)
+	defer sc.close()
 
 	active := sys.Colour()
 	op := sys.NextOp()
 	phi0 := model.AbstractDigest(sys, c)
 
-	// phiString re-derives the canonical Φc encoding of the saved state s0
-	// (violation reporting only; leaves the system at s0).
+	// Attribute this state's verified condition instances to its operation
+	// class once the sweep (including early meta-failure exits) finishes.
+	checksBefore := res.totalChecks()
+	defer func() {
+		res.countOp(model.OpClass(sys, op), res.totalChecks()-checksBefore)
+	}()
+
+	// phiString re-derives the canonical Φc encoding of the anchor state
+	// (violation reporting only; leaves the system at the anchor).
 	phiString := func() string {
-		sys.Restore(s0)
+		sc.reset()
 		return sys.Abstract(c)
 	}
 
@@ -462,14 +510,14 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 				Detail: diffDetail(phiString(), after)})
 		}
 		res.count(Condition2)
-		sys.Restore(s0)
+		sc.reset()
 	} else {
 		// Conditions 1 and 6 via a perturbed twin: Φc is preserved by
 		// construction, so the twin must select the same operation and
 		// produce the same abstract successor.
 		sys.Step()
 		phiAfter := model.AbstractDigest(sys, c)
-		sys.Restore(s0)
+		sc.reset()
 
 		sys.PerturbOutside(c, rng)
 		if model.AbstractDigest(sys, c) != phi0 {
@@ -492,14 +540,14 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 			res.count(Condition1)
 			if model.AbstractDigest(sys, c) != phiAfter {
 				got := sys.Abstract(c)
-				sys.Restore(s0)
+				sc.reset()
 				sys.Step()
 				res.add(Violation{Condition: Condition1, Colour: c, Op: op,
 					Trial: trial, Step: step,
 					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(sys.Abstract(c), got)})
 			}
 		}
-		sys.Restore(s0)
+		sc.reset()
 	}
 
 	// Condition 5: outputs extract equal on Φc-equal states. The extracts
@@ -515,11 +563,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 				Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q", out0, out1)})
 		}
 	}
-	sys.Restore(s0)
+	sc.reset()
 
-	// phiInString re-derives Φc of INPUT(s0, in) for violation reports.
+	// phiInString re-derives Φc of INPUT(anchor, in) for violation reports.
 	phiInString := func(in model.Input) string {
-		sys.Restore(s0)
+		sc.reset()
 		sys.ApplyInput(in)
 		return sys.Abstract(c)
 	}
@@ -528,7 +576,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	in := sys.RandomInput(rng)
 	sys.ApplyInput(in)
 	phiIn := model.AbstractDigest(sys, c)
-	sys.Restore(s0)
+	sc.reset()
 	sys.PerturbOutside(c, rng)
 	if model.AbstractDigest(sys, c) == phi0 {
 		sys.ApplyInput(in)
@@ -540,7 +588,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiInString(in), got)})
 		}
 	}
-	sys.Restore(s0)
+	sc.reset()
 
 	// Condition 4: inputs with equal c-extract act equally on Φc.
 	in2 := sys.RandomInputMatching(c, in, rng)
@@ -553,7 +601,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 				Trial: trial, Step: step,
 				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiInString(in), got)})
 		}
-		sys.Restore(s0)
+		sc.reset()
 	}
 
 	// Extension: the scheduling decision after the active colour's own
@@ -561,7 +609,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	if opt.CheckScheduling && active == c {
 		sys.Step()
 		colAfter := sys.Colour()
-		sys.Restore(s0)
+		sc.reset()
 		sys.PerturbOutside(c, rng)
 		if model.AbstractDigest(sys, c) == phi0 && sys.Colour() == c {
 			sys.Step()
@@ -572,7 +620,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 					Detail: fmt.Sprintf("next active colour %q vs %q after identical op", colAfter, got)})
 			}
 		}
-		sys.Restore(s0)
+		sc.reset()
 	}
 }
 
