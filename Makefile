@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-smoke lint fuzz-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -20,6 +20,28 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzBuildCFG -fuzztime 10s
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
+
+# Trace-analysis smoke (E14): replay the committed golden traces through
+# septrace. The honest Physical/KernelHosted pair must be indistinguishable,
+# the planted-leak trace must diverge, the open timingchan trace must
+# measure a perfect scheduling channel and the fixed-slice trace a dead
+# one. A live seprun pipe exercises `-trace -`. Reports land in
+# trace-smoke/ for CI artifact upload.
+TRACEDATA := cmd/septrace/testdata
+trace-smoke:
+	mkdir -p trace-smoke
+	$(GO) run ./cmd/septrace diff $(TRACEDATA)/fabric_physical.jsonl $(TRACEDATA)/fabric_kernelhosted.jsonl > trace-smoke/diff-honest.txt
+	grep -q 'verdict: indistinguishable' trace-smoke/diff-honest.txt
+	! $(GO) run ./cmd/septrace diff $(TRACEDATA)/fabric_physical.jsonl $(TRACEDATA)/fabric_leaky.jsonl > trace-smoke/diff-leaky.txt
+	grep -q 'verdict: DISTINGUISHABLE' trace-smoke/diff-leaky.txt
+	$(GO) run ./cmd/septrace covert $(TRACEDATA)/timingchan_open.jsonl > trace-smoke/covert-open.txt
+	grep -q 'err=0.00' trace-smoke/covert-open.txt
+	$(GO) run ./cmd/septrace covert $(TRACEDATA)/timingchan_fixed.jsonl > trace-smoke/covert-fixed.txt
+	grep -q 'rate=0.0000' trace-smoke/covert-fixed.txt
+	$(GO) run ./cmd/seprun -steps 5000 -trace - 2> trace-smoke/seprun-report.txt | $(GO) run ./cmd/septrace project - > trace-smoke/project-live.txt
+	grep -q 'regime 0:' trace-smoke/project-live.txt
+	@echo "trace-smoke: all verdicts as expected"
 
 # Race-detector pass over the concurrent verification engine, the kernel
 # adapter it replicates, and the observability counters they share.

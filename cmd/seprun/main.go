@@ -13,17 +13,21 @@
 // Observability (see internal/obs):
 //
 //	seprun -trace out.jsonl                     # JSONL event trace
+//	seprun -trace -                             # JSONL to stdout (report → stderr)
 //	seprun -trace out.json -trace-format chrome # open in chrome://tracing
 //	seprun -itrace 20                           # print first 20 instructions
 //	seprun -metrics                             # Prometheus-text kernel counters
 //
 // Every run ends with a per-regime exit report: instructions executed,
-// syscalls, channel traffic, final state and any fault reason.
+// syscalls, channel traffic, final state and any fault reason. With
+// -trace - the report moves to stderr, so `seprun -trace - | septrace
+// covert -` pipes a clean event stream.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -89,6 +93,14 @@ func main() {
 	flag.Var(&chans, "chan", "add a channel FROM:TO between regime indexes (repeatable)")
 	flag.Parse()
 
+	// With -trace - the event stream owns stdout; everything else (the
+	// demo banner, the exit report, metrics) moves to stderr so the JSONL
+	// can be piped straight into septrace.
+	out := io.Writer(os.Stdout)
+	if *tracePath == "-" {
+		out = os.Stderr
+	}
+
 	b := core.NewBuilder()
 	args := flag.Args()
 	var names []string
@@ -97,7 +109,7 @@ func main() {
 		b.Regime("receiver", demoReceiver)
 		b.Channel("sender", "receiver", 8)
 		names = []string{"sender", "receiver"}
-		fmt.Println("seprun: no programs given; running the built-in sender/receiver demo")
+		fmt.Fprintln(out, "seprun: no programs given; running the built-in sender/receiver demo")
 	} else {
 		for i, path := range args {
 			src, err := os.ReadFile(path)
@@ -141,7 +153,7 @@ func main() {
 			if e.User {
 				who = names[sys.Kernel.CurrentRegime()]
 			}
-			fmt.Printf("%s  [%s]\n", e, who)
+			fmt.Fprintf(out, "%s  [%s]\n", e, who)
 		})
 	}
 
@@ -149,28 +161,33 @@ func main() {
 	// the file (flush / close the JSON array) after it.
 	var finishTrace func() error
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fatal(err)
+		w := io.Writer(os.Stdout)
+		closeFile := func() error { return nil }
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			w, closeFile = f, f.Close
 		}
 		switch *traceFormat {
 		case "jsonl":
-			j := obs.NewJSONL(f)
+			j := obs.NewJSONL(w)
 			sys.SetTracer(j)
 			finishTrace = func() error {
 				if err := j.Flush(); err != nil {
 					return err
 				}
-				return f.Close()
+				return closeFile()
 			}
 		case "chrome":
-			c := obs.NewChrome(f, sys.RegimeNames())
+			c := obs.NewChrome(w, sys.RegimeNames())
 			sys.SetTracer(c)
 			finishTrace = func() error {
 				if err := c.Close(); err != nil {
 					return err
 				}
-				return f.Close()
+				return closeFile()
 			}
 		default:
 			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
@@ -183,31 +200,31 @@ func main() {
 		if err := finishTrace(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace written to %s (%s)\n", *tracePath, *traceFormat)
+		fmt.Fprintf(out, "trace written to %s (%s)\n", *tracePath, *traceFormat)
 	}
 
-	fmt.Printf("ran %d cycles (%d machine cycles total)\n", n, sys.Machine.Cycles())
+	fmt.Fprintf(out, "ran %d cycles (%d machine cycles total)\n", n, sys.Machine.Cycles())
 	if sys.Kernel.Dead() {
-		fmt.Printf("KERNEL DIED: %v\n", sys.Kernel.Cause)
+		fmt.Fprintf(out, "KERNEL DIED: %v\n", sys.Kernel.Cause)
 		os.Exit(1)
 	}
-	exitReport(sys, names)
+	exitReport(out, sys, names)
 
 	if *metrics {
 		reg := obs.NewRegistry()
 		sys.Kernel.FillRegistry(reg)
-		fmt.Println("\nmetrics:")
-		reg.WritePrometheus(os.Stdout)
+		fmt.Fprintln(out, "\nmetrics:")
+		reg.WritePrometheus(out)
 	}
 }
 
 // exitReport prints the per-regime outcome: what each regime did (from the
 // kernel's activity counters) and how it ended.
-func exitReport(sys *core.System, names []string) {
+func exitReport(out io.Writer, sys *core.System, names []string) {
 	st := sys.Stats()
-	fmt.Printf("kernel: swaps=%d sched-decisions=%d ctx-switches=%d interrupts=%d deliveries=%d\n",
+	fmt.Fprintf(out, "kernel: swaps=%d sched-decisions=%d ctx-switches=%d interrupts=%d deliveries=%d\n",
 		st.Swaps, st.SchedDecisions, st.Switches, st.Interrupts, st.Deliveries)
-	fmt.Printf("%-10s %-13s %9s %9s %6s %6s  %s\n",
+	fmt.Fprintf(out, "%-10s %-13s %9s %9s %6s %6s  %s\n",
 		"regime", "state", "instrs", "syscalls", "sends", "recvs", "exit")
 	for i, name := range names {
 		state := sys.Kernel.RegimeStateOf(i)
@@ -228,7 +245,7 @@ func exitReport(sys *core.System, names []string) {
 			exit = "blocked in TRAP #WAITIRQ"
 		}
 		w, _ := sys.RegimeWord(name, 0x20)
-		fmt.Printf("%-10s %-13s %9d %9d %6d %6d  %s (mem[0x20]=%#x)\n",
+		fmt.Fprintf(out, "%-10s %-13s %9d %9d %6d %6d  %s (mem[0x20]=%#x)\n",
 			name, stateName,
 			st.InstrPerRegime[i], st.SyscallPerRegime[i],
 			st.SendPerRegime[i], st.RecvPerRegime[i], exit, w)

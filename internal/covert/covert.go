@@ -78,6 +78,15 @@ func Measure(sent, received []int, rounds int) Measurement {
 	return m
 }
 
+// Accuracy is the fraction of sent bits decoded correctly (0 when nothing
+// was sent).
+func (m Measurement) Accuracy() float64 {
+	if m.BitsSent == 0 {
+		return 0
+	}
+	return float64(m.BitsCorrect) / float64(m.BitsSent)
+}
+
 // BSCCapacity is the Shannon capacity of a binary symmetric channel with
 // crossover probability p: 1 - H2(p), clamped to [0, 1]. A channel at
 // p = 0.5 carries nothing; p = 0 or p = 1 carries one bit per symbol.

@@ -3,6 +3,8 @@ package distsys
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Context is the interface the fabric hands to a component while it runs.
@@ -44,6 +46,7 @@ func (e TraceEvent) String() string {
 
 // wire is a unidirectional FIFO between two ports.
 type wire struct {
+	idx                int // connection order, stable across deployments
 	fromComp, fromPort string
 	toComp, toPort     string
 	queue              []Message
@@ -80,11 +83,35 @@ type Fabric struct {
 	outIndex map[string]map[string]*wire
 	// inIndex: component -> ordered in-ports (wire list)
 	inIndex map[string][]*wire
+	// indexOf: component name -> registration order, the regime index used
+	// in emitted obs events (stable across deployments for identical
+	// construction sequences).
+	indexOf map[string]int
 
 	traces    map[string][]TraceEvent
 	rounds    uint64
 	delivered uint64
+	sends     map[string]int // total Send calls per component (incl. dropped)
+	tracer    obs.Tracer
+	leak      QuantumLeak
 }
+
+// QuantumLeak plants a scheduling covert channel into the KernelHosted
+// deployment, the fabric-level analogue of the kernel's Leaks: once the
+// Modulator component has sent at least one message, the Victim's
+// round-robin quantum is inflated by Bonus handling steps. Scheduling now
+// depends on another component's activity — exactly the condition-6 hazard
+// — and the victim's inflated bursts can overflow capacity-limited wires,
+// changing what downstream components observe. Physical deployments ignore
+// the leak (there is no shared scheduler to corrupt).
+type QuantumLeak struct {
+	Modulator string
+	Victim    string
+	Bonus     int
+}
+
+// Active reports whether the leak is configured.
+func (l QuantumLeak) Active() bool { return l.Bonus != 0 && l.Victim != "" }
 
 // New creates an empty fabric for the given deployment.
 func New(d Deployment) *Fabric {
@@ -94,15 +121,30 @@ func New(d Deployment) *Fabric {
 		byName:   map[string]Component{},
 		outIndex: map[string]map[string]*wire{},
 		inIndex:  map[string][]*wire{},
+		indexOf:  map[string]int{},
 		traces:   map[string][]TraceEvent{},
+		sends:    map[string]int{},
 	}
 }
+
+// SetTracer attaches an obs event tracer (nil detaches): every component
+// send and delivery is mirrored as an EvChanSend/EvChanRecv event with
+// Regime = the component's registration index, Arg = the wire's connection
+// index, Name = the local port, and Detail = the message's canonical
+// rendering. Cycle carries the global round counter — a value no
+// deployment-invariant component may observe, which is why
+// analyze.Project renormalizes it away before comparing deployments.
+func (f *Fabric) SetTracer(t obs.Tracer) { f.tracer = t }
+
+// PlantQuantumLeak configures the scheduling leak (see QuantumLeak).
+func (f *Fabric) PlantQuantumLeak(l QuantumLeak) { f.leak = l }
 
 // Add registers a component.
 func (f *Fabric) Add(c Component) error {
 	if _, dup := f.byName[c.Name()]; dup {
 		return fmt.Errorf("distsys: duplicate component %q", c.Name())
 	}
+	f.indexOf[c.Name()] = len(f.comps)
 	f.byName[c.Name()] = c
 	f.comps = append(f.comps, c)
 	return nil
@@ -138,7 +180,7 @@ func (f *Fabric) Connect(from, to string, capacity int) error {
 	if m := f.outIndex[fc]; m != nil && m[fp] != nil {
 		return fmt.Errorf("distsys: port %s already wired", from)
 	}
-	w := &wire{fromComp: fc, fromPort: fp, toComp: tc, toPort: tp, capacity: capacity}
+	w := &wire{idx: len(f.wires), fromComp: fc, fromPort: fp, toComp: tc, toPort: tp, capacity: capacity}
 	f.wires = append(f.wires, w)
 	if f.outIndex[fc] == nil {
 		f.outIndex[fc] = map[string]*wire{}
@@ -174,7 +216,8 @@ func (c *ctx) Send(port string, m Message) {
 	if w == nil {
 		panic(fmt.Sprintf("distsys: component %q sent on unwired port %q", c.comp, port))
 	}
-	c.f.trace(c.comp, "send", port, m)
+	c.f.sends[c.comp]++
+	c.f.trace(c.comp, "send", port, w, m)
 	msg := m.Clone()
 	if c.f.Deploy == Physical {
 		w.inFlight = append(w.inFlight, msg)
@@ -191,8 +234,23 @@ func (c *ctx) Connected(port string) bool { return c.f.outIndex[c.comp][port] !=
 
 func (c *ctx) Now() uint64 { return c.f.rounds }
 
-func (f *Fabric) trace(comp, dir, port string, m Message) {
-	f.traces[comp] = append(f.traces[comp], TraceEvent{Dir: dir, Port: port, Msg: m.Canonical()})
+func (f *Fabric) trace(comp, dir, port string, w *wire, m Message) {
+	canon := m.Canonical()
+	f.traces[comp] = append(f.traces[comp], TraceEvent{Dir: dir, Port: port, Msg: canon})
+	if f.tracer != nil {
+		kind := obs.EvChanSend
+		if dir == "recv" {
+			kind = obs.EvChanRecv
+		}
+		f.tracer.Emit(obs.Event{
+			Cycle:  f.rounds,
+			Kind:   kind,
+			Regime: f.indexOf[comp],
+			Arg:    w.idx,
+			Name:   port,
+			Detail: canon,
+		})
+	}
 }
 
 // deliverOne pops the next pending message for a component (scanning its
@@ -204,7 +262,7 @@ func (f *Fabric) deliverOne(comp Component) bool {
 		}
 		m := w.queue[0]
 		w.queue = w.queue[1:]
-		f.trace(comp.Name(), "recv", w.toPort, m)
+		f.trace(comp.Name(), "recv", w.toPort, w, m)
 		f.delivered++
 		comp.Handle(&ctx{f: f, comp: comp.Name()}, w.toPort, m)
 		return true
@@ -239,7 +297,13 @@ func (f *Fabric) StepRound() bool {
 		}
 	case KernelHosted:
 		for _, c := range f.comps {
-			for q := 0; q < f.Quantum; q++ {
+			quantum := f.Quantum
+			if f.leak.Active() && c.Name() == f.leak.Victim && f.sends[f.leak.Modulator] > 0 {
+				// The planted leak: scheduling capacity granted to the
+				// victim depends on what the modulator has been doing.
+				quantum += f.leak.Bonus
+			}
+			for q := 0; q < quantum; q++ {
 				if f.deliverOne(c) {
 					progress = true
 					continue
@@ -309,6 +373,19 @@ func (f *Fabric) Component(name string) (Component, bool) {
 	c, ok := f.byName[name]
 	return c, ok
 }
+
+// Index returns a component's registration order (-1 if unknown): the
+// regime index its obs events carry.
+func (f *Fabric) Index(name string) int {
+	if i, ok := f.indexOf[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Sends reports how many messages a component has sent (dropped ones
+// included — the sender cannot observe the loss).
+func (f *Fabric) Sends(comp string) int { return f.sends[comp] }
 
 // Rounds returns the number of rounds executed so far.
 func (f *Fabric) Rounds() uint64 { return f.rounds }

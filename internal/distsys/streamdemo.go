@@ -1,0 +1,82 @@
+package distsys
+
+import "strconv"
+
+// This file builds the standard workload for the trace-diff experiment
+// (E14, cmd/septrace): a streaming producer/consumer pair plus an
+// unrelated modulator. Every component is deployment-invariant — its
+// outputs depend only on the messages it receives and its own state, never
+// on ctx.Now() — so an honest fabric yields identical per-component
+// projections (analyze.Project) under Physical and KernelHosted. Planting
+// a QuantumLeak breaks exactly that: the producer's inflated bursts
+// overflow the capacity-limited wire and the consumer's observed sequence
+// diverges, turning a pure scheduling leak into a trace-visible fact.
+
+// streamProducer sends items sequence-numbered 0..n-1 on port "out", one
+// per Poll.
+type streamProducer struct {
+	name string
+	n    int
+	next int
+}
+
+func (p *streamProducer) Name() string                    { return p.name }
+func (p *streamProducer) Handle(Context, string, Message) {}
+func (p *streamProducer) Poll(ctx Context) bool {
+	if p.next >= p.n {
+		return false
+	}
+	ctx.Send("out", Msg("item", "seq", strconv.Itoa(p.next)))
+	p.next++
+	return true
+}
+
+// streamConsumer records every item it receives.
+type streamConsumer struct {
+	name string
+	got  []string
+}
+
+func (c *streamConsumer) Handle(_ Context, _ string, m Message) {
+	c.got = append(c.got, m.Arg("seq"))
+}
+func (c *streamConsumer) Name() string      { return c.name }
+func (c *streamConsumer) Poll(Context) bool { return false }
+
+// Received returns the sequence numbers the consumer saw, in order.
+func (c *streamConsumer) Received() []string { return append([]string(nil), c.got...) }
+
+// NewStreamDemo builds the four-component workload:
+//
+//	prod --(cap 8)--> cons     a producer streaming `items` messages
+//	spy  --(cap 64)-> hole     a modulator emitting `ticks` ticks
+//
+// Component registration order (= obs regime index): prod 0, cons 1,
+// spy 2, hole 3. The prod→cons wire capacity of 2×DefaultQuantum absorbs
+// honest KernelHosted bursts (quantum sends in, quantum drained per
+// round) but not a leak-inflated burst, which is what makes the planted
+// QuantumLeak{Modulator: "spy", Victim: "prod"} detectable from traces.
+func NewStreamDemo(d Deployment, items, ticks int) *Fabric {
+	f := New(d)
+	f.MustAdd(&streamProducer{name: "prod", n: items})
+	f.MustAdd(&streamConsumer{name: "cons"})
+	f.MustAdd(&streamProducer{name: "spy", n: ticks})
+	f.MustAdd(&streamConsumer{name: "hole"})
+	f.MustConnect("prod:out", "cons:in", 2*f.Quantum)
+	f.MustConnect("spy:out", "hole:in", 64)
+	return f
+}
+
+// StreamConsumerReceived returns the recorded sequence of a stream demo
+// consumer ("cons" or "hole"), or nil for other components.
+func StreamConsumerReceived(f *Fabric, name string) []string {
+	c, ok := f.byName[name]
+	if !ok {
+		return nil
+	}
+	sc, ok := c.(*streamConsumer)
+	if !ok {
+		return nil
+	}
+	return sc.Received()
+}

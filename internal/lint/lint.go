@@ -5,7 +5,11 @@
 //
 //   - obs-zero-dep: internal/obs is the observability layer every subsystem
 //     may import, so it must import nothing from this module — otherwise
-//     instrumentation could drag modelled state into scope.
+//     instrumentation could drag modelled state into scope. Subpackages
+//     (internal/obs/analyze) sit a layer above: they consume recorded
+//     traces offline, so they may import the obs core and the equally
+//     dependency-free covert arithmetic, but still nothing that models or
+//     mutates machine state (kernel, machine, separability, ...).
 //
 //   - raw-machine-access: only internal/kernel, internal/machine itself and
 //     internal/distmachine (whose boot path stands in for the hardware
@@ -124,8 +128,11 @@ func lintFile(fset *token.FileSet, path, dir string) ([]Diagnostic, error) {
 	isTest := strings.HasSuffix(path, "_test.go")
 	l := &linter{fset: fset}
 
-	if !isTest && (dir == "internal/obs" || strings.HasPrefix(dir, "internal/obs/")) {
+	if !isTest && dir == "internal/obs" {
 		l.checkObsImports(f)
+	}
+	if !isTest && strings.HasPrefix(dir, "internal/obs/") {
+		l.checkObsSubImports(f)
 	}
 	if !isTest && !mutatorAllowed[dir] {
 		l.checkRawAccess(f)
@@ -152,13 +159,32 @@ func (l *linter) report(pos token.Pos, rule, format string, args ...any) {
 	})
 }
 
-// checkObsImports enforces obs-zero-dep.
+// checkObsImports enforces obs-zero-dep for the obs core.
 func (l *linter) checkObsImports(f *ast.File) {
 	for _, imp := range f.Imports {
 		p := strings.Trim(imp.Path.Value, `"`)
 		if p == module || strings.HasPrefix(p, module+"/") {
 			l.report(imp.Pos(), "obs-zero-dep",
 				"internal/obs must not import %s (keep the observability layer dependency-free)", p)
+		}
+	}
+}
+
+// obsSubAllowed are the module imports an internal/obs subpackage may use:
+// the obs core itself plus covert, both of which import only the standard
+// library (the core by this linter, covert by inspection — fmt and math).
+var obsSubAllowed = map[string]bool{
+	module + "/internal/obs":    true,
+	module + "/internal/covert": true,
+}
+
+// checkObsSubImports enforces obs-zero-dep for internal/obs subpackages.
+func (l *linter) checkObsSubImports(f *ast.File) {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if (p == module || strings.HasPrefix(p, module+"/")) && !obsSubAllowed[p] {
+			l.report(imp.Pos(), "obs-zero-dep",
+				"internal/obs subpackages may import only the obs core and internal/covert, not %s (trace analysis must stay outside the modelled system)", p)
 		}
 	}
 }

@@ -63,6 +63,32 @@ var _ = obs.Event{}
 	}
 }
 
+func TestObsSubpackageImports(t *testing.T) {
+	// Subpackages may build on the obs core and on covert, nothing else.
+	root := t.TempDir()
+	write(t, root, "internal/obs/analyze/analyze.go", `package analyze
+import (
+	"repro/internal/covert"
+	"repro/internal/obs"
+)
+var _ = obs.Event{}
+var _ = covert.Bitstring
+`)
+	if d := runLint(t, root); len(d) != 0 {
+		t.Fatalf("allowed subpackage imports flagged: %v", d)
+	}
+
+	root2 := t.TempDir()
+	write(t, root2, "internal/obs/analyze/bad.go", `package analyze
+import "repro/internal/kernel"
+var _ = kernel.Stats{}
+`)
+	diags := runLint(t, root2)
+	if len(diags) != 1 || diags[0].Rule != "obs-zero-dep" {
+		t.Fatalf("diags = %v, want one obs-zero-dep for the kernel import", diags)
+	}
+}
+
 func TestRawMachineAccess(t *testing.T) {
 	root := t.TempDir()
 	const offender = `package x

@@ -1,0 +1,147 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// ev is shorthand for test events.
+func ev(cycle uint64, kind obs.EventKind, regime int) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: kind, Regime: regime}
+}
+
+func sw(cycle uint64, to, from int) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: obs.EvContextSwitch, Regime: to, Prev: from}
+}
+
+func TestProjectVirtualClock(t *testing.T) {
+	// Regime 0 runs [10,18) and [30,33); regime 1 fills the gaps.
+	trace := []obs.Event{
+		sw(10, 0, -1),
+		ev(14, obs.EvSyscallEnter, 0), // 4 cycles into turn 1 → vt 4
+		sw(18, 1, 0),
+		ev(18, obs.EvSyscallExit, 0), // observed while switched out → vt 8 (turn ended)
+		ev(25, obs.EvChanSend, 1),    // not regime 0's
+		sw(30, 0, 1),
+		ev(32, obs.EvChanRecv, 0), // 2 cycles into turn 2 → vt 8+2
+		sw(33, -1, 0),
+		ev(40, obs.EvIRQRaise, 0),   // device-side, never observable
+		ev(41, obs.EvIRQField, 0),   // kernel-internal, never observable
+		ev(50, obs.EvRegimeHalt, 0), // while idle → vt 11
+	}
+	p := analyze.Project(trace, 0)
+	wantKinds := []obs.EventKind{obs.EvSyscallEnter, obs.EvSyscallExit, obs.EvChanRecv, obs.EvRegimeHalt}
+	wantVT := []uint64{4, 8, 10, 11}
+	if len(p.Events) != len(wantKinds) {
+		t.Fatalf("projected %d events, want %d: %+v", len(p.Events), len(wantKinds), p.Events)
+	}
+	for i := range wantKinds {
+		if p.Events[i].Kind != wantKinds[i] || p.Events[i].Cycle != wantVT[i] {
+			t.Errorf("event %d = kind %v vt %d, want kind %v vt %d",
+				i, p.Events[i].Kind, p.Events[i].Cycle, wantKinds[i], wantVT[i])
+		}
+	}
+}
+
+// The projection's whole point: delaying and fragmenting a regime's turns
+// without changing what it observes must not change its projection.
+func TestProjectInvariantUnderRescheduling(t *testing.T) {
+	compact := []obs.Event{
+		sw(0, 0, -1),
+		ev(5, obs.EvSyscallEnter, 0),
+		ev(5, obs.EvSyscallExit, 0),
+		ev(9, obs.EvChanSend, 0),
+	}
+	// Same observations, but the regime is preempted mid-turn and resumed
+	// much later on the wall clock.
+	fragmented := []obs.Event{
+		sw(100, 0, -1),
+		ev(105, obs.EvSyscallEnter, 0),
+		ev(105, obs.EvSyscallExit, 0),
+		sw(106, 1, 0), // preempt after 6 cycles
+		ev(200, obs.EvChanSend, 1),
+		sw(500, 0, 1),              // resume
+		ev(503, obs.EvChanSend, 0), // 6+3 = vt 9, as in the compact run
+	}
+	a, b := analyze.Project(compact, 0), analyze.Project(fragmented, 0)
+	if a.Digest != b.Digest {
+		t.Fatalf("rescheduling changed the projection:\n%+v\nvs\n%+v", a.Events, b.Events)
+	}
+	d := analyze.Diff(a, b)
+	if !d.Equal {
+		t.Fatalf("diff of equal views: %s", d)
+	}
+}
+
+func TestProjectOrdinalFallback(t *testing.T) {
+	// No context switches anywhere (a fabric trace): ordinals, not cycles.
+	trace := []obs.Event{
+		{Cycle: 7, Kind: obs.EvChanSend, Regime: 2, Arg: 0, Name: "out"},
+		{Cycle: 9, Kind: obs.EvChanRecv, Regime: 1, Arg: 1, Name: "in"},
+		{Cycle: 12, Kind: obs.EvChanRecv, Regime: 2, Arg: 1, Name: "in"},
+	}
+	p := analyze.Project(trace, 2)
+	if len(p.Events) != 2 || p.Events[0].Cycle != 0 || p.Events[1].Cycle != 1 {
+		t.Fatalf("ordinal renormalization wrong: %+v", p.Events)
+	}
+}
+
+func TestDiffFirstDivergence(t *testing.T) {
+	base := []obs.Event{
+		sw(0, 0, -1),
+		ev(1, obs.EvChanSend, 0),
+		ev(2, obs.EvChanSend, 0),
+	}
+	changed := append([]obs.Event(nil), base...)
+	changed[2] = obs.Event{Cycle: 2, Kind: obs.EvChanSend, Regime: 0, Value: 99}
+
+	d := analyze.Diff(analyze.Project(base, 0), analyze.Project(changed, 0))
+	if d.Equal || d.DivergeAt != 1 {
+		t.Fatalf("diff = %+v, want divergence at event 1", d)
+	}
+	if !strings.Contains(d.B, `"value":99`) {
+		t.Errorf("report does not carry the divergent rendering: %s", d.B)
+	}
+	if !strings.Contains(d.String(), "DIVERGED at event 1") {
+		t.Errorf("String() = %q", d.String())
+	}
+
+	// One view being a strict prefix of the other is also a divergence, at
+	// the first missing event.
+	short := base[:2]
+	d = analyze.Diff(analyze.Project(base, 0), analyze.Project(short, 0))
+	if d.Equal || d.DivergeAt != 1 || d.B != "" || d.A == "" {
+		t.Fatalf("prefix diff = %+v", d)
+	}
+	if !strings.Contains(d.String(), "<view ended>") {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestDiffAllAndRegimes(t *testing.T) {
+	a := []obs.Event{
+		ev(1, obs.EvChanSend, 0),
+		ev(2, obs.EvChanRecv, 1),
+	}
+	b := []obs.Event{
+		ev(1, obs.EvChanSend, 0),
+		ev(2, obs.EvChanRecv, 1),
+		ev(3, obs.EvChanRecv, 3), // a regime only trace b knows about
+	}
+	if got := analyze.Regimes(b); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("Regimes = %v", got)
+	}
+	ds := analyze.DiffAll(a, b)
+	if len(ds) != 3 {
+		t.Fatalf("DiffAll covers %d regimes, want 3: %+v", len(ds), ds)
+	}
+	if !ds[0].Equal || !ds[1].Equal {
+		t.Errorf("regimes 0/1 should be identical: %+v", ds[:2])
+	}
+	if ds[2].Equal || ds[2].Regime != 3 || ds[2].DivergeAt != 0 {
+		t.Errorf("regime 3 should diverge at event 0: %+v", ds[2])
+	}
+}

@@ -1,0 +1,154 @@
+package analyze
+
+import (
+	"repro/internal/covert"
+	"repro/internal/obs"
+)
+
+// This file measures covert-channel bandwidth from traces alone. The
+// synthetic harness in internal/timingchan reads the receiver's decoded
+// memory after the run; here the same channel is measured from the
+// outside, using only the kernel's event stream — the way an auditor with
+// a trace file (and no access to regime memory) would measure it.
+
+// TurnStarts returns the machine cycle of every context switch INTO the
+// given regime, in trace order: the wall-clock shape of its schedule.
+func TurnStarts(events []obs.Event, regime int) []uint64 {
+	var out []uint64
+	for _, e := range events {
+		if e.Kind == obs.EvContextSwitch && e.Regime == regime {
+			out = append(out, e.Cycle)
+		}
+	}
+	return out
+}
+
+// Gaps returns the successive differences of an ascending series: for turn
+// starts, the turn-to-turn wall-clock gaps a regime's own clock device
+// would let it measure.
+func Gaps(series []uint64) []uint64 {
+	if len(series) < 2 {
+		return nil
+	}
+	out := make([]uint64, len(series)-1)
+	for i := 1; i < len(series); i++ {
+		out[i-1] = series[i] - series[i-1]
+	}
+	return out
+}
+
+// DecodeThreshold turns a series into bits: 1 where the sample exceeds the
+// threshold, else 0 — the same decision rule the timingchan receiver runs
+// in assembly against its clock deltas.
+func DecodeThreshold(series []uint64, threshold uint64) []int {
+	bits := make([]int, len(series))
+	for i, v := range series {
+		if v > threshold {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// BestAlignment slides the sent bitstring over the decoded series at
+// offsets 0..maxOffset and returns the offset with the most position-wise
+// matches (ties to the smallest offset). Trace-derived decodes start with
+// the sender's and receiver's synchronization turns, whose count is a
+// protocol detail the auditor should not need to know; recovering the
+// alignment from the data is standard covert-channel practice.
+func BestAlignment(sent, decoded []int, maxOffset int) (offset, matches int) {
+	if maxOffset < 0 {
+		maxOffset = 0
+	}
+	for off := 0; off <= maxOffset; off++ {
+		if off >= len(decoded) {
+			break
+		}
+		m, _ := covert.Compare(sent, decoded[off:])
+		if m > matches {
+			matches, offset = m, off
+		}
+	}
+	return offset, matches
+}
+
+// ScheduleMeasurement is the outcome of a trace-driven scheduling-channel
+// measurement.
+type ScheduleMeasurement struct {
+	// Turns is how many times the regime was scheduled in the trace.
+	Turns int
+	// Offset is the recovered alignment between the gap series and the
+	// sent bits.
+	Offset int
+	// Decoded is the aligned decoded window (len == len(sent), shorter if
+	// the trace ended early).
+	Decoded []int
+	// Covert carries the error-rate/capacity/bandwidth arithmetic shared
+	// with the synthetic harness.
+	Covert covert.Measurement
+}
+
+// MeasureSchedule measures the scheduling channel toward `regime` (the
+// receiver) from a kernel trace: gaps between the regime's successive turn
+// starts are thresholded into bits, aligned against the known sent
+// bitstring, and scored with the same binary-symmetric-channel arithmetic
+// covert.Measure applies to the synthetic harness. Rounds is taken from
+// the trace's cycle span, so BitsPerRound is bits per machine cycle,
+// directly comparable with the synthetic measurement.
+func MeasureSchedule(events []obs.Event, regime int, sent []int, threshold uint64, maxOffset int) ScheduleMeasurement {
+	starts := TurnStarts(events, regime)
+	decoded := DecodeThreshold(Gaps(starts), threshold)
+	off, _ := BestAlignment(sent, decoded, maxOffset)
+	window := decoded[min(off, len(decoded)):]
+	if len(window) > len(sent) {
+		window = window[:len(sent)]
+	}
+	rounds := 0
+	if n := len(events); n > 0 {
+		rounds = int(events[n-1].Cycle - events[0].Cycle)
+	}
+	return ScheduleMeasurement{
+		Turns:   len(starts),
+		Offset:  off,
+		Decoded: window,
+		Covert:  covert.Measure(sent, window, rounds),
+	}
+}
+
+// OccupancySeries extracts the occupancy-after-operation series of one
+// kernel channel from a trace: every EvChanSend/EvChanRecv on channel ch
+// contributes its Occ field. Channel occupancy is the storage-channel
+// counterpart of scheduling gaps — a receiver polling a shared channel
+// sees occupancy modulated by the sender's behaviour.
+func OccupancySeries(events []obs.Event, ch int) []uint64 {
+	var out []uint64
+	for _, e := range events {
+		if (e.Kind == obs.EvChanSend || e.Kind == obs.EvChanRecv) && e.Arg == ch {
+			out = append(out, uint64(e.Occ))
+		}
+	}
+	return out
+}
+
+// MeasureOccupancy measures a storage channel carried by channel ch's
+// occupancy: the series is thresholded, aligned and scored exactly like
+// the scheduling gaps.
+func MeasureOccupancy(events []obs.Event, ch int, sent []int, threshold uint64, maxOffset int) ScheduleMeasurement {
+	series := OccupancySeries(events, ch)
+	decoded := DecodeThreshold(series, threshold)
+	off, _ := BestAlignment(sent, decoded, maxOffset)
+	window := decoded[min(off, len(decoded)):]
+	if len(window) > len(sent) {
+		window = window[:len(sent)]
+	}
+	rounds := 0
+	if n := len(events); n > 0 {
+		rounds = int(events[n-1].Cycle - events[0].Cycle)
+	}
+	return ScheduleMeasurement{
+		Turns:   len(series),
+		Offset:  off,
+		Decoded: window,
+		Covert:  covert.Measure(sent, window, rounds),
+	}
+}

@@ -1,0 +1,74 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/timingchan"
+)
+
+// These tests close the loop the tentpole promises: the scheduling channel
+// internal/timingchan builds on the real kernel is measured here from the
+// kernel's event trace alone — no access to the receiver's memory — and
+// the measurement agrees with the synthetic in-memory harness. Cutting the
+// channel (fixed-slice scheduling) drops the trace-measured capacity to
+// (near) zero, so a cut regression is detectable from traces.
+
+func tracedRun(t *testing.T, fixedSlice int) (*timingchan.Result, []obs.Event) {
+	t.Helper()
+	var events []obs.Event
+	res, _, err := timingchan.RunConfig(timingchan.Config{
+		NBits: 64, Seed: 11, Busy: 60, Threshold: 40,
+		FixedSlice: fixedSlice,
+		Tracer:     obs.TracerFunc(func(e obs.Event) { events = append(events, e) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("receiver did not finish")
+	}
+	return res, events
+}
+
+func TestMeasureScheduleFromRealTrace(t *testing.T) {
+	res, events := tracedRun(t, 0)
+	// Receiver is regime 1; its clock ticks once per machine cycle, so the
+	// in-regime threshold applies unchanged to trace-derived turn gaps.
+	m := analyze.MeasureSchedule(events, 1, res.Sent, 40, 8)
+
+	if m.Turns < 64 {
+		t.Fatalf("receiver scheduled only %d times for a 64-bit transfer", m.Turns)
+	}
+	if m.Covert.Accuracy() < 0.9 {
+		t.Fatalf("trace-measured accuracy %.2f; trace decode disagrees with the channel:\n%+v", m.Covert.Accuracy(), m)
+	}
+	if m.Covert.BitsPerRound <= 0 {
+		t.Fatalf("trace-measured bandwidth is zero: %+v", m.Covert)
+	}
+	// Consistency with the synthetic harness: the trace decode must be at
+	// least as good as a noisy channel and in the same regime as what the
+	// receiver itself decoded in memory.
+	if syn := res.Covert.Accuracy(); m.Covert.Accuracy() < syn-0.1 {
+		t.Errorf("trace accuracy %.2f well below synthetic %.2f", m.Covert.Accuracy(), syn)
+	}
+}
+
+func TestMeasureScheduleDetectsCut(t *testing.T) {
+	resOpen, evOpen := tracedRun(t, 0)
+	open := analyze.MeasureSchedule(evOpen, 1, resOpen.Sent, 40, 8)
+
+	resCut, evCut := tracedRun(t, 200)
+	cut := analyze.MeasureSchedule(evCut, 1, resCut.Sent, 40, 8)
+
+	if open.Covert.CapacityPerSymbol <= 0 {
+		t.Fatalf("open channel measured at zero capacity: %+v", open.Covert)
+	}
+	// Fixed-slice scheduling makes every rotation the same length: the
+	// thresholded gaps carry ~nothing, and the BSC capacity collapses.
+	if cut.Covert.CapacityPerSymbol > 0.2*open.Covert.CapacityPerSymbol {
+		t.Errorf("cut channel still at %.3f b/sym (open: %.3f); regression undetected",
+			cut.Covert.CapacityPerSymbol, open.Covert.CapacityPerSymbol)
+	}
+}

@@ -1,0 +1,101 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Close must terminate an open "running" slice so every B has an E, and
+// the result must be a complete, parseable JSON array even when no event
+// was ever emitted.
+func TestChromeCloseTerminatesOpenSlice(t *testing.T) {
+	var buf bytes.Buffer
+	c := obs.NewChrome(&buf, []string{"red", "black"})
+	c.Emit(obs.Event{Cycle: 5, Kind: obs.EvContextSwitch, Regime: 0, Prev: -1, Name: "red"})
+	c.Emit(obs.Event{Cycle: 9, Kind: obs.EvSyscallEnter, Regime: 0, Arg: 0, Name: "SWAP"})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("closed trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	var begins, ends int
+	var lastEndTS float64
+	for _, p := range parsed {
+		switch p["ph"] {
+		case "B":
+			begins++
+		case "E":
+			ends++
+			lastEndTS, _ = p["ts"].(float64)
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("B/E = %d/%d after Close, want 1/1", begins, ends)
+	}
+	// The synthesized E closes at last-seen-cycle+1, strictly after the
+	// last real event.
+	if lastEndTS != 10 {
+		t.Fatalf("synthesized slice end ts = %v, want 10", lastEndTS)
+	}
+}
+
+func TestChromeCloseEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	c := obs.NewChrome(&buf, nil)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(parsed) != 1 || parsed[0]["ph"] != "M" {
+		t.Fatalf("empty trace should hold only the kernel lane metadata, got %v", parsed)
+	}
+}
+
+// failAfter errors once n bytes have been written — the flush path must
+// surface the underlying writer's error through Close.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, f.err
+}
+
+func TestChromeCloseReportsWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	c := obs.NewChrome(&failAfter{n: 8, err: wantErr}, []string{"only"})
+	for i := 0; i < 64; i++ {
+		c.Emit(obs.Event{Cycle: uint64(i), Kind: obs.EvContextSwitch, Regime: 0, Prev: -1})
+		c.Emit(obs.Event{Cycle: uint64(i), Kind: obs.EvContextSwitch, Regime: -1, Prev: 0})
+	}
+	if err := c.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close = %v, want the writer's %v", err, wantErr)
+	}
+}
+
+func TestJSONLFlushReportsWriteError(t *testing.T) {
+	wantErr := errors.New("pipe closed")
+	j := obs.NewJSONL(&failAfter{n: 4, err: wantErr})
+	for i := 0; i < 4096; i++ {
+		j.Emit(obs.Event{Cycle: uint64(i), Kind: obs.EvRegimeHalt, Regime: 0})
+	}
+	if err := j.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("Flush = %v, want the writer's %v", err, wantErr)
+	}
+}

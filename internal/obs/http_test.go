@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/obs"
@@ -71,5 +73,65 @@ func TestListenMetrics(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
 		t.Error("listener still serving after shutdown")
+	}
+}
+
+// TestListenMetricsShutdownRace hammers the endpoint from several scraper
+// goroutines while counters advance and shutdown lands mid-flight. Under
+// -race (make race) this pins the guarantee that stopping the listener
+// never races the registry's atomic state or the server's handler; every
+// scrape either succeeds with a well-formed body or fails with a transport
+// error — nothing in between.
+func TestListenMetricsShutdownRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	bound, shutdown, err := obs.ListenMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const scrapers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter("sep_trials_total").Inc()
+				resp, err := http.Get("http://" + bound + "/metrics")
+				if err != nil {
+					continue // shutdown won the race; that's the point
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK &&
+					!strings.Contains(string(body), "sep_trials_total") {
+					t.Error("scrape returned 200 with a malformed body")
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the scrapers overlap the shutdown rather than strictly precede it.
+	for reg.CounterValue("sep_trials_total") < 8 {
+		runtime.Gosched()
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The registry must remain fully usable after the listener is gone.
+	before := reg.CounterValue("sep_trials_total")
+	reg.Counter("sep_trials_total").Inc()
+	if reg.CounterValue("sep_trials_total") != before+1 {
+		t.Error("registry wedged after shutdown")
 	}
 }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the read half of the JSONL trace format: a decoder that
+// round-trips streams written by the JSONL sink, so traces can be analysed
+// offline (see internal/obs/analyze and cmd/septrace) instead of only in
+// the process that recorded them.
+//
+// The contract is a fixed point with AppendJSON: decoding a canonical line
+// and re-encoding it reproduces the line byte for byte. Fields that
+// AppendJSON omits for an event's kind are dropped by the decoder too, so
+// one decode canonicalizes any accepted input (fuzz-tested).
+
+// kindByName is the reverse of kindNames, built once.
+var kindByName = func() map[string]EventKind {
+	m := make(map[string]EventKind, numEventKinds)
+	for k, n := range kindNames {
+		m[n] = EventKind(k)
+	}
+	return m
+}()
+
+// KindByName resolves a kind's string form ("ctx-switch", ...); ok is
+// false for unknown names.
+func KindByName(name string) (EventKind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// jsonEvent mirrors every key AppendJSON can emit. Pointers distinguish
+// absent from zero where it matters for validation.
+type jsonEvent struct {
+	Cycle  *uint64 `json:"cycle"`
+	Kind   *string `json:"kind"`
+	Regime *int    `json:"regime"`
+	Prev   int     `json:"prev"`
+	Trap   int     `json:"trap"`
+	R0     uint64  `json:"r0"`
+	IRQ    int     `json:"irq"`
+	Chan   int     `json:"chan"`
+	Value  uint64  `json:"value"`
+	Occ    int     `json:"occ"`
+	Name   string  `json:"name"`
+	Detail string  `json:"detail"`
+}
+
+// ParseJSONLine decodes one JSONL trace line into an Event. Unknown keys
+// and unknown kinds are errors; keys irrelevant to the decoded kind are
+// accepted but dropped, so the result always re-encodes canonically.
+func ParseJSONLine(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var j jsonEvent
+	if err := dec.Decode(&j); err != nil {
+		return Event{}, err
+	}
+	// A line must be exactly one object.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	if j.Kind == nil {
+		return Event{}, fmt.Errorf("missing \"kind\"")
+	}
+	kind, ok := KindByName(*j.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", *j.Kind)
+	}
+	if j.Cycle == nil {
+		return Event{}, fmt.Errorf("missing \"cycle\"")
+	}
+	if j.Regime == nil {
+		return Event{}, fmt.Errorf("missing \"regime\"")
+	}
+	e := Event{Cycle: *j.Cycle, Kind: kind, Regime: *j.Regime, Name: j.Name, Detail: j.Detail}
+	switch kind {
+	case EvContextSwitch:
+		e.Prev = j.Prev
+	case EvSyscallEnter:
+		e.Arg = j.Trap
+	case EvSyscallExit:
+		e.Arg = j.Trap
+		e.Value = j.R0
+	case EvIRQField, EvIRQDeliver, EvIRQRaise:
+		e.Arg = j.IRQ
+	case EvChanSend, EvChanRecv:
+		e.Arg = j.Chan
+		e.Value = j.Value
+		e.Occ = j.Occ
+	}
+	return e, nil
+}
+
+// ReadJSONL decodes a whole JSONL trace stream (blank lines are skipped).
+// Errors carry the 1-based line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []Event
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := ParseJSONLine(line)
+		if err != nil {
+			return events, fmt.Errorf("obs: trace line %d: %w", lineno, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("obs: trace line %d: %w", lineno, err)
+	}
+	return events, nil
+}
+
+// WriteJSONL renders events in the JSONL sink's canonical encoding: the
+// inverse of ReadJSONL and the byte-for-byte equal of what a JSONL sink
+// attached at recording time would have written.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range events {
+		buf = AppendJSON(buf[:0], e)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

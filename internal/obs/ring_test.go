@@ -1,0 +1,82 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The Ring used to discard its oldest event silently when full; these tests
+// pin the drop accounting that replaced the silence.
+func TestRingCountsDrops(t *testing.T) {
+	r := obs.NewRing(4)
+	for i := 0; i < 4; i++ {
+		r.Emit(obs.Event{Cycle: uint64(i)})
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Fatalf("dropped %d before the ring ever wrapped", got)
+	}
+	for i := 4; i < 10; i++ {
+		r.Emit(obs.Event{Cycle: uint64(i)})
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d after 10 emits into capacity 4, want 6", got)
+	}
+	// The window holds the newest events; the drops are the oldest.
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Fatalf("window = %+v, want cycles 6..9", evs)
+	}
+
+	// Reset empties the window but keeps the monotonic loss count.
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 6 {
+		t.Fatalf("after Reset: len=%d dropped=%d, want 0 and 6", r.Len(), r.Dropped())
+	}
+	r.Emit(obs.Event{})
+	if r.Dropped() != 6 {
+		t.Fatalf("emit into a reset ring dropped something: %d", r.Dropped())
+	}
+}
+
+func TestRingFillRegistry(t *testing.T) {
+	r := obs.NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(obs.Event{Cycle: uint64(i)})
+	}
+	reg := obs.NewRegistry()
+	r.FillRegistry(reg)
+	if got := reg.CounterValue("obs_events_dropped_total"); got != 3 {
+		t.Fatalf("obs_events_dropped_total = %d, want 3", got)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_events_dropped_total 3") {
+		t.Fatalf("prometheus export missing drop counter:\n%s", b.String())
+	}
+}
+
+// Concurrent emitters must not lose or double-count drops (run under -race
+// via make race).
+func TestRingDropsConcurrent(t *testing.T) {
+	const emitters, each = 8, 1000
+	r := obs.NewRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(obs.Event{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Dropped(), uint64(emitters*each-16); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+}

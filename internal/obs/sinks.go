@@ -10,13 +10,17 @@ import (
 // --- Ring ---
 
 // Ring is a bounded in-memory event sink: once full it overwrites the
-// oldest events, so it always holds the most recent window. Safe for
-// concurrent emitters.
+// oldest events, so it always holds the most recent window. Every
+// overwrite is counted as a dropped event (the window silently losing
+// history is itself an observability failure worth observing); read the
+// count with Dropped or publish it with FillRegistry. Safe for concurrent
+// emitters.
 type Ring struct {
 	mu      sync.Mutex
 	buf     []Event
 	next    int
 	wrapped bool
+	dropped uint64
 }
 
 // NewRing returns a ring holding at most capacity events (minimum 1).
@@ -30,6 +34,9 @@ func NewRing(capacity int) *Ring {
 // Emit implements Tracer.
 func (r *Ring) Emit(e Event) {
 	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++ // this write evicts the oldest held event
+	}
 	r.buf[r.next] = e
 	r.next++
 	if r.next == len(r.buf) {
@@ -37,6 +44,24 @@ func (r *Ring) Emit(e Event) {
 		r.wrapped = true
 	}
 	r.mu.Unlock()
+}
+
+// Dropped reports how many events have been evicted to make room since the
+// ring was created. The count is cumulative — Reset empties the window but
+// does not forget past losses (drop counters are monotonic, like the
+// obs_events_dropped_total counter FillRegistry publishes).
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// FillRegistry publishes the ring's loss counter into a metrics registry
+// as obs_events_dropped_total. It adds the current point-in-time value, so
+// use a fresh registry per export (the same contract as the kernel's
+// FillRegistry).
+func (r *Ring) FillRegistry(reg *Registry) {
+	reg.Counter("obs_events_dropped_total").Add(r.Dropped())
 }
 
 // Len reports how many events are currently held.

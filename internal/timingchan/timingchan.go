@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/covert"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // senderSrc modulates CPU hold time per bit: a long busy loop for 1, an
@@ -110,21 +111,56 @@ type Result struct {
 	Finished bool
 }
 
-// Run builds the two-regime system (no channels!), runs it, and decodes.
-// busy is the sender's hold-loop length for a 1 bit; threshold the
-// receiver's decision boundary in clock ticks.
-func Run(nbits int, seed uint64, busy, threshold int) (*Result, *core.System, error) {
-	bits := covert.Bitstring(seed, nbits)
+// Config parameterizes one timing-channel run.
+type Config struct {
+	NBits     int    // bits to transmit
+	Seed      uint64 // PRNG seed for the sent bitstring
+	Busy      int    // sender's hold-loop length for a 1 bit
+	Threshold int    // receiver's decision boundary in clock ticks
+	// FixedSlice, when > 0, enables the kernel's fixed-slice scheduling
+	// (the channel cut); 0 keeps round-robin-until-voluntary-SWAP.
+	FixedSlice int
+	// Tracer, when non-nil, is attached to the kernel and machine for the
+	// whole run, so cmd/septrace can measure the channel from the event
+	// stream alone.
+	Tracer obs.Tracer
+	// StopOnFinish polls the receiver's completion flag between bursts and
+	// ends the run as soon as the transfer is decoded, instead of spending
+	// the whole cycle budget on the post-transfer SWAP spin. Keeps traced
+	// runs compact without changing what was transmitted.
+	StopOnFinish bool
+}
+
+// RunConfig builds the two-regime system (no channels!), runs it, and
+// decodes the receiver's memory. Sender is regime 0, receiver regime 1.
+func RunConfig(cfg Config) (*Result, *core.System, error) {
+	bits := covert.Bitstring(cfg.Seed, cfg.NBits)
 	clk := machine.NewClock("clk", 1) // the receiver's wall clock
-	sys, err := core.NewBuilder().
-		RegimeSized("sender", senderSrc(bits, busy), 0x400).
-		RegimeSized("receiver", receiverSrc(nbits, threshold), 0x400, clk).
-		Build()
+	b := core.NewBuilder().
+		RegimeSized("sender", senderSrc(bits, cfg.Busy), 0x400).
+		RegimeSized("receiver", receiverSrc(cfg.NBits, cfg.Threshold), 0x400, clk)
+	cycles := cfg.NBits*(cfg.Busy*2+64) + 4000
+	if cfg.FixedSlice > 0 {
+		b = b.WithFixedSlice(cfg.FixedSlice)
+		cycles = cfg.NBits*cfg.FixedSlice*4 + 8000
+	}
+	sys, err := b.Build()
 	if err != nil {
 		return nil, nil, err
 	}
-	cycles := nbits*(busy*2+64) + 4000
-	sys.Run(cycles)
+	if cfg.Tracer != nil {
+		sys.SetTracer(cfg.Tracer)
+	}
+	if cfg.StopOnFinish {
+		for spent := 0; spent < cycles; spent += 256 {
+			sys.Run(256)
+			if flag, _ := sys.RegimeWord("receiver", 0x100); flag == 1 {
+				break
+			}
+		}
+	} else {
+		sys.Run(cycles)
+	}
 	if sys.Kernel.Dead() {
 		return nil, nil, fmt.Errorf("timingchan: kernel died: %v", sys.Kernel.Cause)
 	}
@@ -132,7 +168,7 @@ func Run(nbits int, seed uint64, busy, threshold int) (*Result, *core.System, er
 	if flag, _ := sys.RegimeWord("receiver", 0x100); flag == 1 {
 		res.Finished = true
 	}
-	for i := 0; i < nbits; i++ {
+	for i := 0; i < cfg.NBits; i++ {
 		v, _ := sys.RegimeWord("receiver", machine.Word(0x200+i))
 		res.Decoded = append(res.Decoded, int(v))
 	}
@@ -140,33 +176,14 @@ func Run(nbits int, seed uint64, busy, threshold int) (*Result, *core.System, er
 	return res, sys, nil
 }
 
+// Run is RunConfig under round-robin scheduling (the open channel).
+func Run(nbits int, seed uint64, busy, threshold int) (*Result, *core.System, error) {
+	return RunConfig(Config{NBits: nbits, Seed: seed, Busy: busy, Threshold: threshold})
+}
+
 // RunFixed is Run with the kernel's fixed-slice scheduling enabled: every
 // rotation takes the same wall-clock time regardless of the sender's
 // behaviour, so the receiver's deltas carry (nearly) nothing.
 func RunFixed(nbits int, seed uint64, busy, threshold, slice int) (*Result, *core.System, error) {
-	bits := covert.Bitstring(seed, nbits)
-	clk := machine.NewClock("clk", 1)
-	sys, err := core.NewBuilder().
-		RegimeSized("sender", senderSrc(bits, busy), 0x400).
-		RegimeSized("receiver", receiverSrc(nbits, threshold), 0x400, clk).
-		WithFixedSlice(slice).
-		Build()
-	if err != nil {
-		return nil, nil, err
-	}
-	cycles := nbits*slice*4 + 8000
-	sys.Run(cycles)
-	if sys.Kernel.Dead() {
-		return nil, nil, fmt.Errorf("timingchan: kernel died: %v", sys.Kernel.Cause)
-	}
-	res := &Result{Sent: bits}
-	if flag, _ := sys.RegimeWord("receiver", 0x100); flag == 1 {
-		res.Finished = true
-	}
-	for i := 0; i < nbits; i++ {
-		v, _ := sys.RegimeWord("receiver", machine.Word(0x200+i))
-		res.Decoded = append(res.Decoded, int(v))
-	}
-	res.Covert = covert.Measure(bits, res.Decoded, int(sys.Machine.Cycles()))
-	return res, sys, nil
+	return RunConfig(Config{NBits: nbits, Seed: seed, Busy: busy, Threshold: threshold, FixedSlice: slice})
 }
