@@ -20,6 +20,7 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzBuildCFG -fuzztime 10s
+	$(GO) test ./internal/machine -run '^$$' -fuzz FuzzTranslationInvalidation -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
 
 # Trace-analysis smoke (E14): replay the committed golden traces through
@@ -51,7 +52,7 @@ race:
 test:
 	$(GO) test ./...
 
-# Experiment benchmarks (E1..E13); see EXPERIMENTS.md. The results are
+# Experiment benchmarks (E1..E15); see EXPERIMENTS.md. The results are
 # also parsed into BENCH_verify.json (name, ns/op, speedup-x, workers,
 # GOMAXPROCS) for machine consumption. A committed baseline lives at
 # BENCH_verify.json; regenerate it with this target when the experiment

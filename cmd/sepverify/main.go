@@ -53,6 +53,8 @@ func realMain() int {
 		"run the exhaustive proofs (MiniSUE + toy calibration) instead of the kernel check")
 	metrics := flag.Bool("metrics", false,
 		"collect verifier metrics and dump a throughput report after the run")
+	notranslate := flag.Bool("notranslate", false,
+		"run the SM11 machines without the basic-block translation cache (A/B lever; verdicts are identical either way)")
 	metricsFormat := flag.String("metrics-format", "prom",
 		"registry dump format with -metrics: prom (Prometheus text) or json")
 	progress := flag.Bool("progress", false,
@@ -139,7 +141,7 @@ func realMain() int {
 	status := 0
 	if *all {
 		ok := true
-		if r, err := runOne("honest", kernel.Leaks{}, true, opt, true); err != nil {
+		if r, err := runOne("honest", kernel.Leaks{}, true, opt, true, *notranslate); err != nil {
 			fmt.Fprintln(os.Stderr, "sepverify:", err)
 			return 2
 		} else {
@@ -147,7 +149,7 @@ func realMain() int {
 		}
 		for _, name := range leakNames() {
 			l := kernel.AllLeaks()[name]
-			r, err := runOne(name, l, true, opt, false)
+			r, err := runOne(name, l, true, opt, false, *notranslate)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sepverify:", err)
 				return 2
@@ -173,7 +175,7 @@ func realMain() int {
 			expectPass = false
 			name += " (uncut)"
 		}
-		ok, err := runOne(name, leaks, !*uncut, opt, expectPass)
+		ok, err := runOne(name, leaks, !*uncut, opt, expectPass, *notranslate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sepverify:", err)
 			return 2
@@ -198,12 +200,25 @@ func leakNames() []string {
 	return names
 }
 
-func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options, expectPass bool) (bool, error) {
+func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options, expectPass, notranslate bool) (bool, error) {
 	sys, err := verifysys.Build(verifysys.ProbeFor(leaks), leaks, cut)
 	if err != nil {
 		return false, err
 	}
+	if notranslate {
+		// Clones inherit the setting, so parallel workers run interpreted too.
+		sys.K.Machine().SetTranslation(false)
+	}
 	res := separability.CheckRandomized(sys, opt)
+	if opt.Metrics != nil {
+		// Translation-cache counters from the primary machine (replica
+		// machines keep their own; the primary's ratio is representative).
+		ts := sys.K.Machine().TranslationStats()
+		opt.Metrics.Counter("sep_tc_hits_total").Add(ts.Hits)
+		opt.Metrics.Counter("sep_tc_misses_total").Add(ts.Misses)
+		opt.Metrics.Counter("sep_tc_invalidations_total").Add(ts.Invalidations)
+		opt.Metrics.Counter("sep_tc_fallbacks_total").Add(ts.Fallbacks)
+	}
 	verdict := "as expected"
 	good := res.Passed() == expectPass
 	if !good {

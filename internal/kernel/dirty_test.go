@@ -1,0 +1,67 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestDirtyColoursConservative pins Adapter.DirtyColours against its
+// soundness contract: a CLEAR mask bit must be a proof that the colour's Φ
+// digest is unchanged since the checkpoint. Over-marking (set bits for
+// untouched colours) is allowed; under-marking is the bug this test hunts.
+func TestDirtyColoursConservative(t *testing.T) {
+	a := adapterSystem(t)
+	rng := rand.New(rand.NewSource(37))
+	a.Randomize(rng)
+	colours := a.Colours()
+
+	digests := func() []uint64 {
+		out := make([]uint64, len(colours))
+		for ci, c := range colours {
+			out[ci] = model.DigestString(a.Abstract(c))
+		}
+		return out
+	}
+
+	for round := 0; round < 6; round++ {
+		base := digests()
+		cp := a.Checkpoint()
+		if cp == nil {
+			t.Fatal("Checkpoint returned nil")
+		}
+		check := func(step string) {
+			t.Helper()
+			mask, ok := a.DirtyColours(cp)
+			if !ok {
+				// Declining is always legal; the checker then assumes
+				// everything is dirty.
+				return
+			}
+			now := digests()
+			for ci := range colours {
+				if now[ci] != base[ci] && mask&(1<<uint(ci)) == 0 {
+					t.Fatalf("%s: Φ(%s) changed but dirty bit %d is clear (mask %#x)",
+						step, colours[ci], ci, mask)
+				}
+			}
+		}
+		for sub := 0; sub < 3; sub++ {
+			for i := 0; i < 20; i++ {
+				mutateAdapter(a, rng)
+				if i%4 == 0 {
+					check(fmt.Sprintf("round %d sub %d step %d", round, sub, i))
+				}
+			}
+			check(fmt.Sprintf("round %d sub %d before rollback", round, sub))
+			a.Rollback(cp)
+			check(fmt.Sprintf("round %d sub %d after rollback", round, sub))
+		}
+		a.Release(cp)
+		for i := 0; i < 6; i++ {
+			mutateAdapter(a, rng)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// TestTranslatedKernelBootLockstep is the kernel-level differential test
+// for the translation cache: the real SUE-Go kernel, booted and stepped
+// with and without translation, must hold byte-identical machine state
+// and Φ abstractions at every point. This exercises the paths the micro
+// tests cannot — kernel-mode execution, trap round trips, MMU reloads on
+// SWAP, channel copies — all under translated dispatch.
+func TestTranslatedKernelBootLockstep(t *testing.T) {
+	build := func(translate bool) *kernel.Kernel {
+		m := machine.New(0x4000)
+		m.SetTranslation(translate)
+		cfg := kernel.Config{
+			Regimes: []kernel.RegimeSpec{
+				{Name: "a", Base: 0x1000, Size: 0x800, Image: prog(t, senderSrc)},
+				{Name: "b", Base: 0x2000, Size: 0x800, Image: prog(t, receiverSrc)},
+			},
+			Channels: []kernel.ChannelSpec{
+				{Name: "ab", From: "a", To: "b", Capacity: 8},
+			},
+		}
+		k, err := kernel.New(m, cfg)
+		if err != nil {
+			t.Fatalf("kernel.New: %v", err)
+		}
+		if err := k.Boot(); err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		return k
+	}
+	kt, ki := build(true), build(false)
+	if !kt.Machine().Snapshot().Equal(ki.Machine().Snapshot()) {
+		t.Fatal("translated and interpreted machines differ right after boot")
+	}
+	at, ai := kernel.NewAdapter(kt), kernel.NewAdapter(ki)
+	for step := 0; step < 600; step++ {
+		kt.Step()
+		ki.Step()
+		if !kt.Machine().Snapshot().Equal(ki.Machine().Snapshot()) {
+			t.Fatalf("step %d: machine snapshots diverged", step)
+		}
+		if step%25 == 0 {
+			for _, c := range at.Colours() {
+				if at.Abstract(c) != ai.Abstract(c) {
+					t.Fatalf("step %d: Φ(%s) diverged", step, c)
+				}
+			}
+		}
+	}
+	if ts := kt.Machine().TranslationStats(); ts.Hits == 0 {
+		t.Error("translated kernel run never hit the cache")
+	}
+}

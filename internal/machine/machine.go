@@ -39,6 +39,14 @@ type Machine struct {
 	dirtyEpoch uint32
 	deltaGen   uint64
 
+	// Translation-cache state (see translate.go). tc is HOST state only:
+	// Snapshot/Restore and every Φ rendering ignore it (lint-enforced).
+	// mapGen advances on any MMU mapping change so cached user-mode
+	// dispatch can revalidate in one compare.
+	tc          *tcache
+	noTranslate bool
+	mapGen      uint64
+
 	cycles uint64
 
 	tracer func(TraceEntry)
@@ -76,6 +84,7 @@ func (m *Machine) Reset() {
 	m.altSP = 0
 	m.psw = WithPriority(0, 7) // kernel mode, all interrupts masked
 	m.mmu.reset()
+	m.mapGen++
 	m.halted = false
 	m.waiting = false
 	m.trapCode = 0
@@ -97,6 +106,7 @@ func (m *Machine) ClearRAM() {
 		}
 		return
 	}
+	m.flushTC()
 	for i := range m.ram {
 		m.ram[i] = 0
 	}
@@ -197,6 +207,7 @@ func (m *Machine) SegCtl(i int) Word { return m.mmu.Ctl[i&15] }
 func (m *Machine) SetSeg(i int, base, ctl Word) {
 	m.mmu.Base[i&15] = base
 	m.mmu.Ctl[i&15] = ctl
+	m.mapGen++
 }
 
 // MMUAbort returns the latched abort reason and virtual address.
@@ -226,6 +237,7 @@ func (m *Machine) LoadImage(org Word, words []Word) error {
 		}
 		return nil
 	}
+	m.flushTC()
 	copy(m.ram[org:], words)
 	return nil
 }
@@ -287,9 +299,11 @@ func (m *Machine) ioWrite(a Word, v Word) bool {
 	switch {
 	case a >= IOSegBase && a < IOSegBase+NumSegments:
 		m.mmu.Base[a-IOSegBase] = v
+		m.mapGen++
 		return true
 	case a >= IOSegCtl && a < IOSegCtl+NumSegments:
 		m.mmu.Ctl[a-IOSegCtl] = v
+		m.mapGen++
 		return true
 	case a == IOMMUStat:
 		m.mmu.AbortReason = v
@@ -461,17 +475,69 @@ func (m *Machine) StepCPU() {
 	if m.halted {
 		return
 	}
+	m.stepCPU()
+}
+
+// stepCPU is StepCPU without the halted guard, for callers (Step, Run)
+// that have already checked it this cycle.
+func (m *Machine) stepCPU() {
 	m.cycles++
-	if i, ok := m.highestPending(); ok {
-		m.touchDevice(i)
-		m.devices[i].Ack()
-		m.trap(m.devVec[i])
-		return
+	// The len guard saves a call per step on device-less machines; the
+	// scan itself is unavoidable with devices attached.
+	if len(m.devices) > 0 {
+		if i, ok := m.highestPending(); ok {
+			m.touchDevice(i)
+			m.devices[i].Ack()
+			m.trap(m.devVec[i])
+			return
+		}
 	}
 	if m.waiting {
 		return
 	}
-	m.traceCurrent()
+	if m.tracer != nil {
+		m.traceCurrent()
+	}
+	if t := m.tc; t != nil {
+		// Translation-cache cursor fast path, inlined here because the
+		// call boundary itself is measurable at this frequency: the
+		// expected straight-line successor, validated by one fused
+		// PC+mode compare plus the mapping generation (translate.go).
+		if b := t.cur; b != nil {
+			key := cursorKey(m.regs[RegPC], m.psw)
+			if key == t.curKey && t.curMapGen == m.mapGen {
+				t.stats.Hits++
+				idx := t.curIdx
+				u := &b.ops[idx]
+				switch u.kind {
+				case tkRegReg2:
+					m.regs[RegPC]++
+					m.aluToReg(u.op, m.regs[u.srcReg], int(u.dstReg))
+				case tkImmReg2:
+					m.regs[RegPC] += 2
+					m.aluToReg(u.op, u.srcExt, int(u.dstReg))
+				default:
+					m.execMicro(t, b, idx, t.curBase)
+					return
+				}
+				if idx+1 < len(b.ops) {
+					t.curIdx = idx + 1
+					t.curKey = key + uint32(u.length)
+				} else {
+					t.cur = nil
+				}
+				return
+			}
+		}
+		if m.stepTranslated(t) {
+			return
+		}
+	} else if !m.noTranslate {
+		m.tc = newTCache(m.ramWords)
+		if m.stepTranslated(m.tc) {
+			return
+		}
+	}
 	m.execInstr()
 }
 
@@ -481,16 +547,36 @@ func (m *Machine) Step() {
 	if m.halted {
 		return
 	}
-	m.TickDevices()
-	m.StepCPU()
+	if len(m.devices) > 0 {
+		m.TickDevices()
+	}
+	m.stepCPU()
 }
 
 // Run steps until the machine halts or maxSteps is reached; it returns the
 // number of steps taken.
 func (m *Machine) Run(maxSteps int) int {
 	n := 0
+	if len(m.devices) == 0 {
+		// With no devices there is nothing to tick and no interrupt to
+		// dispatch between instructions, so consecutive fast-kind micro-ops
+		// can retire in one batched inner loop (runFast) whenever the
+		// translation cursor is hot and no per-instruction tracing is due.
+		for !m.halted && n < maxSteps {
+			if t := m.tc; t != nil && t.cur != nil && !m.waiting && m.tracer == nil {
+				if k := m.runFast(t, maxSteps-n); k > 0 {
+					n += k
+					continue
+				}
+			}
+			m.stepCPU()
+			n++
+		}
+		return n
+	}
 	for !m.halted && n < maxSteps {
-		m.Step()
+		m.TickDevices()
+		m.stepCPU()
 		n++
 	}
 	return n
@@ -671,20 +757,7 @@ func (m *Machine) execInstr() {
 		if !ok {
 			return
 		}
-		var r, cc Word
-		if op == OpNOT {
-			r = ^v
-			cc = ccNZ(r)
-		} else {
-			r = -v
-			cc = ccNZ(r)
-			if r != 0 {
-				cc |= FlagC
-			}
-			if r == 0x8000 {
-				cc |= FlagV
-			}
-		}
+		r, cc := aluUnary(op, v)
 		if m.writeOperand(dst, r) {
 			m.setCC(cc)
 		}
@@ -796,7 +869,14 @@ func (m *Machine) execTwoOp(op, w Word) {
 	if !ok {
 		return
 	}
+	m.finishTwoOp(op, src, dst)
+}
 
+// finishTwoOp completes a two-operand instruction once both operands are
+// resolved. It is shared verbatim between the interpreter (execTwoOp) and
+// the translation cache (execMicro), so the ALU and condition-code
+// semantics of the two dispatch paths cannot drift apart.
+func (m *Machine) finishTwoOp(op, src Word, dst operand) {
 	if op == OpMOV {
 		if m.writeOperand(dst, src) {
 			m.setCC(ccNZ(src) | m.psw&FlagC)
@@ -808,9 +888,20 @@ func (m *Machine) execTwoOp(op, w Word) {
 	if !ok {
 		return
 	}
+	r, cc, writeBack := alu2(op, src, dv, m.psw&FlagC)
+	if writeBack {
+		if !m.writeOperand(dst, r) {
+			return
+		}
+	}
+	m.setCC(cc)
+}
 
-	var r, cc Word
-	writeBack := true
+// alu2 computes the result and condition codes of a two-operand ALU
+// instruction (everything but MOV). carry is the pre-instruction C flag,
+// preserved by the logical ops. writeBack is false for CMP.
+func alu2(op, src, dv, carry Word) (r, cc Word, writeBack bool) {
+	writeBack = true
 	switch op {
 	case OpADD:
 		sum := uint32(dv) + uint32(src)
@@ -844,13 +935,13 @@ func (m *Machine) execTwoOp(op, w Word) {
 		writeBack = false
 	case OpAND:
 		r = dv & src
-		cc = ccNZ(r) | m.psw&FlagC
+		cc = ccNZ(r) | carry
 	case OpOR:
 		r = dv | src
-		cc = ccNZ(r) | m.psw&FlagC
+		cc = ccNZ(r) | carry
 	case OpXOR:
 		r = dv ^ src
-		cc = ccNZ(r) | m.psw&FlagC
+		cc = ccNZ(r) | carry
 	case OpSHL:
 		n := src & 15
 		r = dv << n
@@ -869,10 +960,22 @@ func (m *Machine) execTwoOp(op, w Word) {
 		r = Word(uint32(dv) * uint32(src))
 		cc = ccNZ(r)
 	}
-	if writeBack {
-		if !m.writeOperand(dst, r) {
-			return
-		}
+	return r, cc, writeBack
+}
+
+// aluUnary computes the result and condition codes of NOT/NEG.
+func aluUnary(op, v Word) (r, cc Word) {
+	if op == OpNOT {
+		r = ^v
+		return r, ccNZ(r)
 	}
-	m.setCC(cc)
+	r = -v
+	cc = ccNZ(r)
+	if r != 0 {
+		cc |= FlagC
+	}
+	if r == 0x8000 {
+		cc |= FlagV
+	}
+	return r, cc
 }

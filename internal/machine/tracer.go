@@ -43,12 +43,10 @@ func (m *Machine) Peek(vaddr Word) (Word, bool) {
 	return 0, false
 }
 
-// traceCurrent emits a TraceEntry for the instruction at PC, if a tracer
-// is installed.
+// traceCurrent emits a TraceEntry for the instruction at PC. The caller
+// (stepCPU) has already established m.tracer != nil, keeping the check off
+// the per-instruction hot path.
 func (m *Machine) traceCurrent() {
-	if m.tracer == nil {
-		return
-	}
 	pc := m.regs[RegPC]
 	var words [3]Word
 	n := 0

@@ -1,0 +1,729 @@
+package machine
+
+// Basic-block translation cache: decode once, dispatch micro-ops.
+//
+// The interpreter in machine.go re-decodes every instruction word on every
+// visit — DecodeOp, SpecMode/SpecReg splits, and one memRead per extension
+// word, all repeated each time the loop comes back around. The translation
+// layer removes that repetition: on first execution of a PC it decodes the
+// straight-line run of instructions up to the next control transfer into a
+// tblock of resolved microOps (opcode, pre-split operand specs, pre-fetched
+// extension words) and thereafter dispatches from the cache.
+//
+// Soundness rests on three invariants:
+//
+//   - Blocks are keyed by PHYSICAL address, in separate kernel/user tables,
+//     so the kernel's identity-mapped view and a regime's MMU-mapped view
+//     of the same RAM never alias. A user block is only entered when the
+//     current mapping still covers its whole span readably, and the cursor
+//     fast path revalidates against mapGen, which bumps on every MMU
+//     register write, Reset, Restore and delta rollback.
+//
+//   - Every store into RAM flows through writeRAM (delta.go) — already the
+//     single write barrier for delta snapshots — which evicts any block
+//     covering the stored word. DeltaRestore's direct undo-log write-back
+//     invalidates the same way, and the non-journaled bulk paths (Restore,
+//     ClearRAM, LoadImage) flush. Self-modifying code therefore re-decodes
+//     exactly when the interpreter would have fetched the new bytes.
+//
+//   - The cache is HOST state, never modelled state: Snapshot, Abstract
+//     and the Φ digests neither read nor encode it (lint rule
+//     translation-host-only), and execMicro replicates the interpreter's
+//     PC increments, fault ordering and condition codes exactly, so
+//     translated and interpreted execution are byte-identical — enforced
+//     by the differential tests in translate_test.go.
+//
+// Dispatch executes exactly ONE micro-op per StepCPU: the cycle counter,
+// device ticks, interrupt polling and tracing all keep their per-step
+// cadence. The win is purely the skipped fetch/decode work, which is most
+// of the cost of simple instructions.
+
+// Decode limits. tcMaxSpan bounds how many RAM words one block may cover,
+// which in turn bounds the window invalidateWord must scan for covering
+// block starts; tcMaxOps bounds the micro-op count.
+const (
+	tcMaxSpan = 64
+	tcMaxOps  = 24
+)
+
+// TCStats are the translation cache's host-side counters (exported through
+// sep_tc_* metrics; never part of the modelled state).
+type TCStats struct {
+	Hits          uint64 // steps dispatched from a cached block
+	Misses        uint64 // blocks decoded
+	Invalidations uint64 // blocks evicted (stores, rollbacks, flushes)
+	Fallbacks     uint64 // steps deferred to the interpreter
+}
+
+// Micro-op kinds. The decoder classifies each instruction once so dispatch
+// can take a specialized path for the overwhelmingly common shapes —
+// register/immediate ALU traffic — and a fully general path for the rest.
+// The fast kinds are provably trap-free and PC-predictable (their dst is a
+// non-PC register and they touch no memory), which lets the cursor advance
+// without re-checking halt/wait/mode.
+const (
+	tkGeneric = iota // full microExec switch
+	tkRegReg2        // two-op ALU/MOV, src = register, dst = non-PC register
+	tkImmReg2        // two-op ALU/MOV, src = immediate, dst = non-PC register
+	tkBranch         // conditional/unconditional branch (trap-free, pure PC/flags)
+)
+
+// microOp is one pre-decoded instruction: opcode, raw word, operand specs
+// split into mode/register, and extension words captured at decode time
+// (kept fresh by the write barrier).
+type microOp struct {
+	op     Word
+	w      Word
+	kind   uint8
+	off    uint8 // word offset of this instruction from the block start
+	length uint8 // words consumed: 1 + extension words
+
+	srcMode, srcReg uint8
+	dstMode, dstReg uint8
+	srcExt, dstExt  Word
+}
+
+// tblock is one decoded basic block: a straight-line run of micro-ops
+// starting at physical word address pa and covering span words.
+type tblock struct {
+	pa      Word
+	span    Word
+	user    bool
+	ops     []microOp
+	alive   bool
+	liveIdx int // index in tcache.live, for O(1) swap-remove
+}
+
+// tcache is a machine's translation cache. It is allocated lazily on the
+// first translated step and sized to the machine's RAM.
+type tcache struct {
+	kern  []*tblock // physical word address -> block starting there (kernel)
+	user  []*tblock // same, for user-mode execution
+	cover []uint16  // live blocks covering each word (invalidation filter)
+	live  []*tblock
+	stats TCStats
+
+	// Cursor: after a micro-op whose successor is the next op of the same
+	// block, the expected (vPC, mode, mapping) is recorded so the next step
+	// skips table lookup and mapping checks entirely. curKey fuses the
+	// expected virtual PC (bits 0-15) with the expected mode (bit 17) so
+	// the fast path validates both with one compare; see cursorKey.
+	cur       *tblock
+	curIdx    int
+	curKey    uint32
+	curBase   Word // virtual address of cur's first op
+	curMapGen uint64
+}
+
+// cursorKey fuses a virtual PC with the PSW's mode bit (PSWUser is bit 15,
+// parked at bit 17 so a span offset added to the PC portion can never carry
+// into it).
+func cursorKey(vpc Word, psw Word) uint32 {
+	return uint32(vpc) | uint32(psw&PSWUser)<<2
+}
+
+func newTCache(ramWords int) *tcache {
+	return &tcache{
+		kern:  make([]*tblock, ramWords),
+		user:  make([]*tblock, ramWords),
+		cover: make([]uint16, ramWords),
+	}
+}
+
+// SetTranslation enables or disables the translation cache. Disabling
+// drops all cached blocks; execution semantics are identical either way
+// (the differential tests assert it), so this is purely an A/B lever.
+func (m *Machine) SetTranslation(on bool) {
+	m.noTranslate = !on
+	if !on && m.tc != nil {
+		m.tc.flush()
+		m.tc = nil
+	}
+}
+
+// TranslationEnabled reports whether the translation cache is in use.
+func (m *Machine) TranslationEnabled() bool { return !m.noTranslate }
+
+// TranslationStats returns the cache's host-side counters since creation.
+func (m *Machine) TranslationStats() TCStats {
+	if m.tc == nil {
+		return TCStats{}
+	}
+	return m.tc.stats
+}
+
+// stepTranslated tries to execute the instruction at PC from the cache.
+// It returns false — having mutated nothing but host state and, on a
+// translation miss, the MMU abort latches the interpreter would latch
+// identically — when the step must fall back to the interpreter.
+func (m *Machine) stepTranslated(t *tcache) bool {
+	// The cursor fast path lives inlined in stepCPU; this is the
+	// block-entry path: translate the PC, look the block up (decoding it
+	// on a miss), revalidate the mapping, and execute its first op.
+	vpc := m.regs[RegPC]
+	user := IsUser(m.psw)
+
+	pa := vpc
+	if user {
+		// A failed fetch translation latches the same abort state the
+		// interpreter's own fetch would latch, so falling back costs
+		// nothing observably.
+		p, ok := m.mmu.translate(vpc, false)
+		if !ok {
+			t.cur = nil
+			t.stats.Fallbacks++
+			return false
+		}
+		pa = p
+	}
+	if int(pa) >= m.ramWords {
+		t.cur = nil
+		t.stats.Fallbacks++
+		return false
+	}
+
+	table := t.kern
+	if user {
+		table = t.user
+	}
+	b := table[pa]
+	if b == nil {
+		b = m.decodeBlock(t, pa, vpc, user)
+		if b == nil {
+			t.cur = nil
+			t.stats.Fallbacks++
+			return false
+		}
+		t.stats.Misses++
+	} else {
+		t.stats.Hits++
+	}
+	// A cached user block may be entered under a different mapping than it
+	// was decoded under (same physical code, different segment): require
+	// the whole span to be readably mapped so no micro-op's word fetch can
+	// fault mid-block.
+	if user && !m.userSpanMapped(vpc, b.span) {
+		t.cur = nil
+		t.stats.Fallbacks++
+		return false
+	}
+	m.execMicro(t, b, 0, vpc)
+	return true
+}
+
+// userSpanMapped reports whether the span words starting at user-mode
+// virtual address vpc are readable under the current mapping without
+// crossing a segment boundary — the condition under which every
+// instruction-stream fetch of a block is known not to fault.
+func (m *Machine) userSpanMapped(vpc, span Word) bool {
+	ctl := m.mmu.Ctl[vpc>>12]
+	acc := SegCtlAccess(ctl)
+	if acc != AccessRO && acc != AccessRW {
+		return false
+	}
+	return int(vpc&(SegmentWords-1))+int(span) <= SegCtlLimit(ctl)
+}
+
+// decodeBlock decodes the straight-line run starting at physical address
+// pa into a new registered block, or returns nil when the first
+// instruction is untranslatable. Instruction words are read from RAM
+// directly: blocks never span I/O space, and the write barrier keeps the
+// captured words fresh.
+func (m *Machine) decodeBlock(t *tcache, pa, vpc Word, user bool) *tblock {
+	limit := m.ramWords
+	if int(pa)+tcMaxSpan < limit {
+		limit = int(pa) + tcMaxSpan
+	}
+	if user {
+		// Never decode across a virtual segment boundary: contiguity of
+		// the mapping is only guaranteed within one segment.
+		segEnd := int(pa) + SegmentWords - int(vpc&(SegmentWords-1))
+		if segEnd < limit {
+			limit = segEnd
+		}
+	}
+
+	b := &tblock{pa: pa, user: user}
+	off := int(pa)
+	for len(b.ops) < tcMaxOps && off < limit {
+		w := m.ram[off]
+		op := DecodeOp(w)
+		n := InstrLen(w)
+		if off+n > limit {
+			break
+		}
+		terminal, ok := classifyOpForTC(op, w)
+		if !ok {
+			break
+		}
+		u := microOp{op: op, w: w, off: uint8(off - int(pa)), length: uint8(n)}
+		ext := off + 1
+		if IsBranch(op) {
+			u.kind = tkBranch
+		}
+		if !IsBranch(op) && op != OpTRAP {
+			if hasSrc(op) {
+				s := SrcSpec(w)
+				u.srcMode, u.srcReg = uint8(SpecMode(s)), uint8(SpecReg(s))
+				if specHasExt(s) {
+					u.srcExt = m.ram[ext]
+					ext++
+				}
+			}
+			if hasDst(op) {
+				s := DstSpec(w)
+				u.dstMode, u.dstReg = uint8(SpecMode(s)), uint8(SpecReg(s))
+				if specHasExt(s) {
+					u.dstExt = m.ram[ext]
+					ext++
+				}
+			}
+			if (op >= OpMOV && op <= OpSHR || op == OpMUL) &&
+				u.dstMode == ModeReg && u.dstReg != RegPC {
+				switch {
+				case u.srcMode == ModeReg:
+					u.kind = tkRegReg2
+				case u.srcMode == ModeExtended && u.srcReg == RegPC:
+					u.kind = tkImmReg2
+				}
+			}
+		}
+		b.ops = append(b.ops, u)
+		off += n
+		if terminal {
+			break
+		}
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	b.span = Word(off - int(pa))
+	t.register(b)
+	return b
+}
+
+// classifyOpForTC decides how the decoder treats an instruction:
+// ok=false means untranslatable (the block ends before it and the
+// interpreter executes it); terminal=true means it is translated but ends
+// its block (control transfers).
+func classifyOpForTC(op, w Word) (terminal, ok bool) {
+	if IsBranch(op) {
+		return true, true
+	}
+	switch op {
+	case OpTRAP, OpJMP, OpJSR, OpRTS:
+		terminal = true
+	case OpNOP, OpMOV, OpADD, OpSUB, OpCMP, OpAND, OpOR, OpXOR,
+		OpSHL, OpSHR, OpMUL, OpNOT, OpNEG, OpPUSH, OpPOP, OpMFPS:
+	default:
+		// HALT, WAIT, RTI, MTPS (mode/priority changes), and undefined
+		// opcodes stay with the interpreter: rare, and their semantics
+		// (privilege checks, PSW rewrites, illegal traps) are not worth
+		// duplicating.
+		return false, false
+	}
+	// Extended-mode specs with a register other than PC (immediate,
+	// src-only) or SP (absolute) trap AFTER consuming the extension word;
+	// leave that ordering to the interpreter.
+	if hasSrc(op) {
+		s := SrcSpec(w)
+		if SpecMode(s) == ModeExtended && SpecReg(s) != RegPC && SpecReg(s) != RegSP {
+			return false, false
+		}
+	}
+	if hasDst(op) {
+		s := DstSpec(w)
+		if SpecMode(s) == ModeExtended && SpecReg(s) != RegSP {
+			return false, false
+		}
+	}
+	return terminal, true
+}
+
+// register installs a freshly decoded block in its table and the coverage
+// filter.
+func (t *tcache) register(b *tblock) {
+	table := t.kern
+	if b.user {
+		table = t.user
+	}
+	table[b.pa] = b
+	for i := 0; i < int(b.span); i++ {
+		t.cover[int(b.pa)+i]++
+	}
+	b.alive = true
+	b.liveIdx = len(t.live)
+	t.live = append(t.live, b)
+}
+
+// evict removes a block from the cache.
+func (t *tcache) evict(b *tblock) {
+	if !b.alive {
+		return
+	}
+	b.alive = false
+	if b.user {
+		t.user[b.pa] = nil
+	} else {
+		t.kern[b.pa] = nil
+	}
+	for i := 0; i < int(b.span); i++ {
+		t.cover[int(b.pa)+i]--
+	}
+	last := len(t.live) - 1
+	t.live[b.liveIdx] = t.live[last]
+	t.live[b.liveIdx].liveIdx = b.liveIdx
+	t.live[last] = nil
+	t.live = t.live[:last]
+	t.stats.Invalidations++
+	if t.cur == b {
+		t.cur = nil
+	}
+}
+
+// invalidateWord evicts every live block covering physical word a. Called
+// from the write barrier only when cover[a] != 0, so the bounded backward
+// scan for block starts is paid exclusively by stores that actually hit
+// translated code.
+func (t *tcache) invalidateWord(a Word) {
+	lo := 0
+	if int(a) >= tcMaxSpan-1 {
+		lo = int(a) - tcMaxSpan + 1
+	}
+	for pa := lo; pa <= int(a); pa++ {
+		if b := t.kern[pa]; b != nil && int(b.pa)+int(b.span) > int(a) {
+			t.evict(b)
+		}
+		if b := t.user[pa]; b != nil && int(b.pa)+int(b.span) > int(a) {
+			t.evict(b)
+		}
+	}
+}
+
+// flush evicts every block (bulk RAM replacement: Restore, ClearRAM,
+// LoadImage outside a delta).
+func (t *tcache) flush() {
+	for len(t.live) > 0 {
+		t.evict(t.live[len(t.live)-1])
+	}
+}
+
+// invalidateTC is the machine-side hook for the non-writeRAM mutation
+// paths (DeltaRestore's undo-log write-back).
+func (m *Machine) invalidateTC(a Word) {
+	if t := m.tc; t != nil && t.cover[a] != 0 {
+		t.invalidateWord(a)
+	}
+}
+
+// flushTC drops all cached blocks; bulk loaders call it instead of
+// per-word invalidation.
+func (m *Machine) flushTC() {
+	if m.tc != nil {
+		m.tc.flush()
+	}
+}
+
+// --- micro-op execution ---
+//
+// execMicro must be observably indistinguishable from execInstr on the
+// same instruction. In particular the PC is incremented at exactly the
+// interpreter's fetch points (instruction word, then each extension word
+// in src-before-dst order), so trap-time PCs agree; and all operand memory
+// traffic still goes through memRead/memWrite, so MMU faults, device side
+// effects and the delta write barrier behave identically.
+
+// execMicro executes op idx of block b, whose first op is at virtual
+// address base, then advances the cursor when the successor is the next op
+// of the same block.
+func (m *Machine) execMicro(t *tcache, b *tblock, idx int, base Word) {
+	u := &b.ops[idx]
+	m.regs[RegPC]++ // the instruction-word fetch (known not to fault)
+
+	switch u.kind {
+	case tkRegReg2:
+		m.aluToReg(u.op, m.regs[u.srcReg], int(u.dstReg))
+	case tkImmReg2:
+		m.regs[RegPC]++ // the immediate's extension-word fetch
+		m.aluToReg(u.op, u.srcExt, int(u.dstReg))
+	default:
+		m.microExecGeneric(u)
+		// Generic ops can trap, halt, write PC or rewrite their own block:
+		// the cursor is valid only when control demonstrably fell through
+		// to the next op's address in the block's own mode.
+		if idx+1 < len(b.ops) && b.alive && !m.halted && !m.waiting &&
+			IsUser(m.psw) == b.user {
+			next := base + Word(b.ops[idx+1].off)
+			if m.regs[RegPC] == next {
+				t.cur, t.curIdx, t.curBase = b, idx+1, base
+				t.curKey = cursorKey(next, m.psw)
+				t.curMapGen = m.mapGen
+				return
+			}
+		}
+		m.reseedCursor(t)
+		return
+	}
+	// Fast kinds touch no memory and no PC: the successor is always the
+	// next op, and no trap, halt, mode switch or invalidation can have
+	// occurred, so the cursor advances unconditionally.
+	if idx+1 < len(b.ops) {
+		t.cur, t.curIdx, t.curBase = b, idx+1, base
+		t.curKey = cursorKey(base+Word(b.ops[idx+1].off), m.psw)
+		t.curMapGen = m.mapGen
+	} else {
+		m.reseedCursor(t)
+	}
+}
+
+// runFast executes up to max consecutive fast-kind micro-ops from the
+// cursor position in one tight loop, returning how many it retired. Fast
+// kinds are trap-free, touch no RAM and never change mode, mapping, halt or
+// wait state, so one cursor validation up front covers the whole run; the
+// cycle counter still advances once per instruction, exactly as if each op
+// had gone through stepCPU. Callers must ensure no device ticks, interrupt
+// dispatch or per-instruction tracing is due (Run's device-less loop).
+func (m *Machine) runFast(t *tcache, max int) int {
+	b := t.cur
+	if b == nil || t.curMapGen != m.mapGen ||
+		cursorKey(m.regs[RegPC], m.psw) != t.curKey {
+		return 0
+	}
+	ops := b.ops
+	idx := t.curIdx
+	n := 0
+loop:
+	for n < max {
+		u := &ops[idx]
+		switch u.kind {
+		case tkGeneric:
+			break loop
+		case tkBranch:
+			// Branches are pure PC/flags arithmetic: execute, then chase the
+			// target. If it lands on a translated block the run continues
+			// without ever surfacing to the step loop.
+			m.regs[RegPC]++
+			m.execBranch(u.op, u.w)
+			n++
+			m.reseedCursor(t)
+			if nb := t.cur; nb != nil && n < max {
+				b, ops, idx = nb, nb.ops, t.curIdx
+				continue
+			}
+			m.cycles += uint64(n)
+			t.stats.Hits += uint64(n)
+			return n
+		default:
+			var src Word
+			if u.kind == tkRegReg2 {
+				m.regs[RegPC]++
+				src = m.regs[u.srcReg]
+			} else {
+				m.regs[RegPC] += 2
+				src = u.srcExt
+			}
+			// aluToReg's body, with the wrapper call flattened out: at this
+			// frequency the call boundary itself is measurable.
+			if u.op == OpMOV {
+				m.regs[u.dstReg] = src
+				m.setCC(ccNZ(src) | m.psw&FlagC)
+			} else {
+				r, cc, writeBack := alu2(u.op, src, m.regs[u.dstReg], m.psw&FlagC)
+				if writeBack {
+					m.regs[u.dstReg] = r
+				}
+				m.setCC(cc)
+			}
+			n++
+			idx++
+			if idx == len(ops) {
+				// Fast-kind fall-through off the end of the block (the
+				// decoder hit a size cap): chase the successor like a branch.
+				m.reseedCursor(t)
+				if nb := t.cur; nb != nil && n < max {
+					b, ops, idx = nb, nb.ops, t.curIdx
+					continue
+				}
+				m.cycles += uint64(n)
+				t.stats.Hits += uint64(n)
+				return n
+			}
+		}
+	}
+	// Out of budget, or a generic op is next: leave the cursor on it.
+	if n != 0 {
+		m.cycles += uint64(n)
+		t.stats.Hits += uint64(n)
+		t.curIdx = idx
+		t.curKey = cursorKey(m.regs[RegPC], m.psw)
+	}
+	return n
+}
+
+// reseedCursor points the cursor at the already-translated block starting
+// at the current PC, if any, so control transfers back into translated code
+// re-enter the fast path without a table-lookup step in between. Host state
+// only: on any doubt it simply leaves the cursor cold, and the MMU probe it
+// uses latches nothing.
+func (m *Machine) reseedCursor(t *tcache) {
+	t.cur = nil
+	if m.halted || m.waiting {
+		return
+	}
+	vpc := m.regs[RegPC]
+	user := IsUser(m.psw)
+	pa := vpc
+	if user {
+		p, ok := m.mmu.probe(vpc)
+		if !ok {
+			return
+		}
+		pa = p
+	}
+	if int(pa) >= m.ramWords {
+		return
+	}
+	var b *tblock
+	if user {
+		b = t.user[pa]
+	} else {
+		b = t.kern[pa]
+	}
+	if b == nil {
+		return
+	}
+	if user && !m.userSpanMapped(vpc, b.span) {
+		return
+	}
+	t.cur, t.curIdx, t.curBase = b, 0, vpc
+	t.curKey = cursorKey(vpc, m.psw)
+	t.curMapGen = m.mapGen
+}
+
+// aluToReg executes a two-operand ALU/MOV instruction whose destination is
+// a (non-PC) register, with the source value already in hand. Semantics are
+// alu2's — identical to the interpreter's.
+func (m *Machine) aluToReg(op, src Word, reg int) {
+	if op == OpMOV {
+		m.regs[reg] = src
+		m.setCC(ccNZ(src) | m.psw&FlagC)
+		return
+	}
+	r, cc, writeBack := alu2(op, src, m.regs[reg], m.psw&FlagC)
+	if writeBack {
+		m.regs[reg] = r
+	}
+	m.setCC(cc)
+}
+
+// microExecGeneric executes one translated instruction through the same
+// operand machinery as the interpreter.
+func (m *Machine) microExecGeneric(u *microOp) {
+	if IsBranch(u.op) {
+		m.execBranch(u.op, u.w)
+	} else {
+		switch u.op {
+		case OpNOP:
+		case OpTRAP:
+			m.trapCode = u.w & 0x3ff
+			m.trap(VecTRAP)
+		case OpRTS:
+			if pc, ok := m.pop(); ok {
+				m.regs[RegPC] = pc
+			}
+		case OpMOV, OpADD, OpSUB, OpCMP, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpMUL:
+			if src, ok := m.microReadSrc(u); ok {
+				if dst, ok := m.microResolveDst(u); ok {
+					m.finishTwoOp(u.op, src, dst)
+				}
+			}
+		case OpNOT, OpNEG:
+			dst, ok := m.microResolveDst(u)
+			if !ok {
+				break
+			}
+			v, ok := m.readOperand(dst)
+			if !ok {
+				break
+			}
+			r, cc := aluUnary(u.op, v)
+			if m.writeOperand(dst, r) {
+				m.setCC(cc)
+			}
+		case OpJMP:
+			if dst, ok := m.microResolveDst(u); ok {
+				if dst.isReg {
+					m.regs[RegPC] = m.regs[dst.reg]
+				} else {
+					m.regs[RegPC] = dst.addr
+				}
+			}
+		case OpJSR:
+			dst, ok := m.microResolveDst(u)
+			if !ok {
+				break
+			}
+			if !m.push(m.regs[RegPC]) {
+				break
+			}
+			if dst.isReg {
+				m.regs[RegPC] = m.regs[dst.reg]
+			} else {
+				m.regs[RegPC] = dst.addr
+			}
+		case OpPUSH:
+			if v, ok := m.microReadSrc(u); ok {
+				m.push(v)
+			}
+		case OpPOP:
+			dst, ok := m.microResolveDst(u)
+			if !ok {
+				break
+			}
+			if v, ok := m.pop(); ok {
+				m.writeOperand(dst, v)
+			}
+		case OpMFPS:
+			if dst, ok := m.microResolveDst(u); ok {
+				m.writeOperand(dst, m.psw)
+			}
+		}
+	}
+}
+
+// microReadSrc mirrors readSrc with the extension word served from the
+// block; the PC advances where the interpreter's fetch would have.
+func (m *Machine) microReadSrc(u *microOp) (Word, bool) {
+	switch u.srcMode {
+	case ModeReg:
+		return m.regs[u.srcReg], true
+	case ModeIndirect:
+		return m.memRead(m.regs[u.srcReg])
+	case ModeIndexed:
+		m.regs[RegPC]++
+		return m.memRead(m.regs[u.srcReg] + u.srcExt)
+	default: // ModeExtended; decode admits only PC (immediate) and SP (absolute)
+		m.regs[RegPC]++
+		if u.srcReg == RegPC {
+			return u.srcExt, true
+		}
+		return m.memRead(u.srcExt)
+	}
+}
+
+// microResolveDst mirrors resolveDst with the extension word served from
+// the block.
+func (m *Machine) microResolveDst(u *microOp) (operand, bool) {
+	switch u.dstMode {
+	case ModeReg:
+		return operand{isReg: true, reg: int(u.dstReg)}, true
+	case ModeIndirect:
+		return operand{addr: m.regs[u.dstReg]}, true
+	case ModeIndexed:
+		m.regs[RegPC]++
+		return operand{addr: m.regs[u.dstReg] + u.dstExt}, true
+	default: // ModeExtended; decode admits only SP (absolute)
+		m.regs[RegPC]++
+		return operand{addr: u.dstExt}, true
+	}
+}

@@ -1,0 +1,374 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// The translation cache must be semantically invisible: every test here
+// drives a translated machine and an interpreted machine in lockstep from
+// the same initial state and stimuli and requires byte-identical snapshots
+// at every step. Any divergence — registers, PSW, cycles, RAM, MMU abort
+// latches, device state — is a soundness bug in the cache, not a test
+// tolerance issue.
+
+// lockstep steps both machines n times, comparing canonical snapshot
+// encodings after every step. mutate, when non-nil, is invoked before each
+// step with the step index so tests can inject identical stimuli (code
+// stores, device input) into both machines mid-run.
+func lockstep(t *testing.T, mt, mi *machine.Machine, n int, mutate func(step int, m *machine.Machine)) {
+	t.Helper()
+	if !mt.TranslationEnabled() || mi.TranslationEnabled() {
+		t.Fatal("lockstep wants one translated and one interpreted machine")
+	}
+	for i := 0; i < n; i++ {
+		if mutate != nil {
+			mutate(i, mt)
+			mutate(i, mi)
+		}
+		mt.Step()
+		mi.Step()
+		if mt.Cycles() != mi.Cycles() {
+			t.Fatalf("step %d: cycles diverged: translated %d, interpreted %d",
+				i, mt.Cycles(), mi.Cycles())
+		}
+		st, si := mt.Snapshot(), mi.Snapshot()
+		if !st.Equal(si) {
+			t.Fatalf("step %d: state diverged (PC %#x vs %#x, PSW %#x vs %#x)",
+				i, st.Regs[machine.RegPC], si.Regs[machine.RegPC], st.PSW, si.PSW)
+		}
+	}
+}
+
+// randomPair builds two identically prepared machines over a random RAM
+// image with HALT-safe trap vectors, one translated and one interpreted.
+func randomPair(rng *rand.Rand) (mt, mi *machine.Machine) {
+	build := func() *machine.Machine {
+		m := machine.New(0x400)
+		return m
+	}
+	mt, mi = build(), build()
+	mi.SetTranslation(false)
+	for a := 0; a < 0x400; a++ {
+		w := machine.Word(rng.Uint32())
+		mt.WritePhys(machine.Word(a), w)
+		mi.WritePhys(machine.Word(a), w)
+	}
+	for _, m := range []*machine.Machine{mt, mi} {
+		m.SetVector(machine.VecIllegal, 0x3FE, machine.WithPriority(0, 7))
+		m.SetVector(machine.VecMMU, 0x3FE, machine.WithPriority(0, 7))
+		m.SetVector(machine.VecTRAP, 0x3FE, machine.WithPriority(0, 7))
+		m.WritePhys(0x3FE, machine.Enc2(machine.OpHALT, 0, 0))
+		m.SetPC(0x100)
+		m.SetReg(machine.RegSP, 0x300)
+	}
+	return mt, mi
+}
+
+// Property: translated execution of random programs is step-for-step
+// byte-identical to interpreted execution.
+func TestTranslatedLockstepRandomProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		mt, mi := randomPair(rand.New(rand.NewSource(seed)))
+		for i := 0; i < 128; i++ {
+			mt.Step()
+			mi.Step()
+			if mt.Cycles() != mi.Cycles() || !mt.Snapshot().Equal(mi.Snapshot()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: user-mode execution under the MMU — where blocks are keyed by
+// physical address and revalidated against the mapping — stays lockstep
+// with the interpreter, including remaps mid-run.
+func TestTranslatedLockstepUserModeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func() *machine.Machine { return machine.New(0x1000) }
+		mt, mi := build(), build()
+		mi.SetTranslation(false)
+		prog := make([]machine.Word, 0x400)
+		for i := range prog {
+			prog[i] = machine.Word(rng.Uint32())
+		}
+		pc0 := machine.Word(rng.Intn(0x400))
+		for _, m := range []*machine.Machine{mt, mi} {
+			for _, v := range []machine.Word{machine.VecIllegal, machine.VecMMU, machine.VecTRAP} {
+				m.SetVector(v, 0x3F0, machine.WithPriority(0, 7))
+			}
+			m.WritePhys(0x3F0, machine.Enc2(machine.OpHALT, 0, 0))
+			m.LoadImage(0x400, prog)
+			// Two segments aliasing the same physical code: the same
+			// physical block runs under different virtual addresses.
+			m.SetSeg(0, 0x400, machine.MakeSegCtl(0x400, machine.AccessRW))
+			m.SetSeg(1, 0x400, machine.MakeSegCtl(0x200, machine.AccessRO))
+			m.SetPSW(machine.PSWUser)
+			m.SetAltSP(0x3E0)
+			m.SetPC(pc0)
+			m.SetReg(machine.RegSP, 0x3FF)
+		}
+		remapAt := 32 + rng.Intn(64)
+		mutate := func(step int, m *machine.Machine) {
+			if step == remapAt {
+				// Remap segment 0 mid-run: cached blocks decoded under the
+				// old mapping must not be entered under the new one.
+				m.SetSeg(0, 0x500, machine.MakeSegCtl(0x300, machine.AccessRW))
+			}
+		}
+		for i := 0; i < 128; i++ {
+			mutate(i, mt)
+			mutate(i, mi)
+			mt.Step()
+			mi.Step()
+			if mt.Cycles() != mi.Cycles() || !mt.Snapshot().Equal(mi.Snapshot()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Self-modifying code: an instruction patches the instruction immediately
+// after itself. The interpreter naturally executes the patched word; the
+// translated machine must invalidate the block it is currently executing
+// and re-decode.
+func TestTranslatedSelfModifyingCode(t *testing.T) {
+	patched := machine.Enc2(machine.OpXOR,
+		machine.Spec(machine.ModeReg, 0), machine.Spec(machine.ModeReg, 0))
+	prog := []machine.Word{
+		// 0x100: MOV #7, R0
+		machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+		7,
+		// 0x102: MOV #0x107, R3
+		machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 3)),
+		0x107,
+		// 0x104: MOV #XOR R0,R0, R2
+		machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 2)),
+		patched,
+		// 0x106: MOV R2, (R3) — patches the NEXT instruction
+		machine.Enc2(machine.OpMOV, machine.Spec(machine.ModeReg, 2), machine.Spec(machine.ModeIndirect, 3)),
+		// 0x107: ADD R0, R0 — replaced by XOR R0, R0 before execution
+		machine.Enc2(machine.OpADD, machine.Spec(machine.ModeReg, 0), machine.Spec(machine.ModeReg, 0)),
+		// 0x108: HALT
+		machine.Enc2(machine.OpHALT, 0, 0),
+	}
+	build := func() *machine.Machine {
+		m := machine.New(0x400)
+		m.LoadImage(0x100, prog)
+		m.SetPC(0x100)
+		return m
+	}
+	mt, mi := build(), build()
+	mi.SetTranslation(false)
+	lockstep(t, mt, mi, 8, nil)
+	if !mt.Halted() || !mi.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if got := mt.Reg(0); got != 0 {
+		t.Fatalf("patched XOR did not execute: R0 = %d, want 0", got)
+	}
+	if st := mt.TranslationStats(); st.Invalidations == 0 {
+		t.Error("self-modifying store evicted no blocks")
+	}
+}
+
+// DeltaRestore rewrites RAM behind the write barrier; stale translations of
+// the pre-restore code must not survive it.
+func TestTranslatedDeltaRestore(t *testing.T) {
+	prog := []machine.Word{
+		// loop: ADD #1, R0; BR loop
+		machine.Enc2(machine.OpADD, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+		1,
+		machine.EncBranch(machine.OpBR, -3),
+	}
+	build := func() *machine.Machine {
+		m := machine.New(0x400)
+		m.LoadImage(0x100, prog)
+		m.SetPC(0x100)
+		return m
+	}
+	mt, mi := build(), build()
+	mi.SetTranslation(false)
+
+	run := func(m *machine.Machine) {
+		d := m.DeltaSnapshot()
+		if d == nil {
+			t.Fatal("DeltaSnapshot refused")
+		}
+		for i := 0; i < 20; i++ {
+			m.Step()
+		}
+		// Patch the loop body into "SUB #1, R0" and run a little more ...
+		m.WritePhys(0x100, machine.Enc2(machine.OpSUB,
+			machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)))
+		for i := 0; i < 10; i++ {
+			m.Step()
+		}
+		// ... then roll everything back: the ADD loop is in RAM again and
+		// must be what executes.
+		m.DeltaRestore(d)
+		m.EndDelta(d)
+		for i := 0; i < 14; i++ {
+			m.Step()
+		}
+	}
+	run(mt)
+	run(mi)
+	if !mt.Snapshot().Equal(mi.Snapshot()) {
+		t.Fatal("translated and interpreted states diverged across DeltaRestore")
+	}
+	if got := mt.Reg(0); got != 7 {
+		t.Fatalf("after rollback, R0 = %d, want 7 (ADD loop, 14 steps)", got)
+	}
+}
+
+// Run's batched fast-dispatch loop must agree exactly — final state AND
+// cycle count — with single-stepping the interpreter.
+func TestTranslatedRunBatchEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		mt, mi := randomPair(rand.New(rand.NewSource(seed)))
+		n := mt.Run(200)
+		steps := 0
+		for ; steps < 200 && !mi.Halted(); steps++ {
+			mi.Step()
+		}
+		return n == steps && mt.Cycles() == mi.Cycles() &&
+			mt.Snapshot().Equal(mi.Snapshot())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Devices and interrupts: translation must not disturb tick interleaving or
+// interrupt dispatch, and device input must reach both machines identically.
+func TestTranslatedDeviceLockstep(t *testing.T) {
+	prog := []machine.Word{
+		// loop: ADD #1, R0; BR loop — interrupted by TTY input
+		machine.Enc2(machine.OpADD, machine.Spec(machine.ModeExtended, machine.RegPC), machine.Spec(machine.ModeReg, 0)),
+		1,
+		machine.EncBranch(machine.OpBR, -3),
+	}
+	build := func() (*machine.Machine, *machine.TTY) {
+		m := machine.New(0x400)
+		tty := machine.NewTTY("t", 1)
+		h := m.Attach(tty)
+		m.SetVector(machine.VecIllegal, 0x3FE, machine.WithPriority(0, 7))
+		m.WritePhys(0x3FE, machine.Enc2(machine.OpHALT, 0, 0))
+		// Device vector: acknowledge by just returning.
+		m.SetVector(h.Vector, 0x200, machine.WithPriority(0, 7))
+		m.WritePhys(0x200, machine.Enc2(machine.OpRTI, 0, 0))
+		m.LoadImage(0x100, prog)
+		m.SetPC(0x100)
+		m.SetReg(machine.RegSP, 0x300)
+		return m, tty
+	}
+	mt, tt := build()
+	mi, ti := build()
+	mi.SetTranslation(false)
+	lockstep(t, mt, mi, 96, func(step int, m *machine.Machine) {
+		if step == 24 {
+			if m == mt {
+				m.Inject(tt, []machine.Word{'x'})
+			} else {
+				m.Inject(ti, []machine.Word{'x'})
+			}
+		}
+	})
+}
+
+// Host-state-only: toggling translation mid-run changes nothing observable,
+// and snapshots taken with a hot cache restore onto a cold machine exactly.
+func TestTranslationToggleInvisible(t *testing.T) {
+	mt, mi := randomPair(rand.New(rand.NewSource(99)))
+	for i := 0; i < 40; i++ {
+		mt.Step()
+		mi.Step()
+	}
+	// Snapshot with a hot cache, restore onto the interpreted machine.
+	if err := mi.Restore(mt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !mt.Snapshot().Equal(mi.Snapshot()) {
+		t.Fatal("snapshot round-trip differs with cache hot")
+	}
+	// Turn translation off mid-run on the translated machine; both must
+	// continue identically.
+	mt.SetTranslation(false)
+	for i := 0; i < 40; i++ {
+		mt.Step()
+		mi.Step()
+		if !mt.Snapshot().Equal(mi.Snapshot()) {
+			t.Fatalf("step %d: divergence after disabling translation", i)
+		}
+	}
+	// And back on.
+	mt.SetTranslation(true)
+	for i := 0; i < 40; i++ {
+		mt.Step()
+		mi.Step()
+		if !mt.Snapshot().Equal(mi.Snapshot()) {
+			t.Fatalf("step %d: divergence after re-enabling translation", i)
+		}
+	}
+}
+
+// FuzzTranslationInvalidation drives translated and interpreted machines in
+// lockstep over a fuzzer-chosen program while applying a fuzzer-chosen
+// schedule of code stores mid-run, asserting byte-identical state at every
+// step. The committed corpus covers self-modification of the current block,
+// the next instruction, and branch targets.
+func FuzzTranslationInvalidation(f *testing.F) {
+	// Seed: the self-modifying program from TestTranslatedSelfModifyingCode
+	// plus mutation schedules that rewrite a loop body and a branch word.
+	f.Add(int64(1), []byte{0x10, 0x02, 0x07, 0x20, 0x05, 0x0c})
+	f.Add(int64(42), []byte{0x00, 0x00, 0xff, 0x30, 0x01, 0x00, 0x40, 0x02, 0x55})
+	f.Add(int64(7), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, sched []byte) {
+		mt, mi := randomPair(rand.New(rand.NewSource(seed)))
+		// Decode the mutation schedule: triples of (step, offset, value
+		// nibble) — each store lands inside the executing program region so
+		// invalidation actually gets exercised.
+		type mut struct {
+			step int
+			addr machine.Word
+			val  machine.Word
+		}
+		var muts []mut
+		for i := 0; i+2 < len(sched) && len(muts) < 8; i += 3 {
+			muts = append(muts, mut{
+				step: int(sched[i]) % 96,
+				addr: 0x100 + machine.Word(sched[i+1])%0x80,
+				val:  machine.Word(sched[i+2]) << 2,
+			})
+		}
+		for i := 0; i < 96; i++ {
+			for _, mu := range muts {
+				if mu.step == i {
+					mt.WritePhys(mu.addr, mu.val)
+					mi.WritePhys(mu.addr, mu.val)
+				}
+			}
+			mt.Step()
+			mi.Step()
+			if mt.Cycles() != mi.Cycles() {
+				t.Fatalf("step %d: cycles diverged", i)
+			}
+			if !mt.Snapshot().Equal(mi.Snapshot()) {
+				t.Fatalf("step %d: state diverged after code mutation", i)
+			}
+		}
+	})
+}

@@ -212,6 +212,23 @@ type Checkpointer interface {
 	Release(Checkpoint)
 }
 
+// DirtyTracker is an optional refinement of Checkpointer: it reports which
+// colours' abstractions MAY have changed since the given checkpoint was
+// taken (or since the most recent Rollback to it). The mask is indexed by
+// the position of each colour in Colours(): a CLEAR bit ci is a proof that
+// Φ^c for Colours()[ci] is byte-identical to its checkpoint-time value; a
+// set bit promises nothing. ok=false means the tracker cannot answer for
+// this checkpoint (the caller must treat every colour as dirty).
+//
+// The exhaustive checker uses this to skip whole digest passes: after
+// stepping or applying an input from a checkpointed state, colours the
+// mutation provably never touched reuse the checkpoint-time digest.
+// Implementations must therefore be conservative in exactly one direction —
+// over-marking wastes a recompute, under-marking corrupts verdicts.
+type DirtyTracker interface {
+	DirtyColours(cp Checkpoint) (mask uint64, ok bool)
+}
+
 // OpClassifier is optionally implemented by systems that can map an OpID to
 // a low-cardinality operation class for metrics (OpIDs themselves embed
 // state detail like program counters, far too many distinct values to

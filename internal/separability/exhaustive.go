@@ -187,9 +187,20 @@ func precompute(sys model.Enumerable, ref model.StateRef,
 		info.phi[ci] = model.AbstractDigest(sys, c)
 		info.outEx[ci] = sys.ExtractOutput(c, out)
 	}
+	// The footprint shortcut: when the system can prove which colours a
+	// mutation touched (model.DirtyTracker over the checkpoint's write
+	// journal), untouched colours reuse the anchor digest — Φ^c is a pure
+	// function of state the mutation never wrote. Masks wider than 64
+	// colours cannot be represented; such systems take the full sweeps.
+	wide := len(colours) > 64
 	sys.Step()
+	opMask, opOK := sc.dirty()
 	for ci, c := range colours {
-		info.phiOp[ci] = model.AbstractDigest(sys, c)
+		if opOK && !wide && opMask&(1<<uint(ci)) == 0 {
+			info.phiOp[ci] = info.phi[ci]
+		} else {
+			info.phiOp[ci] = model.AbstractDigest(sys, c)
+		}
 	}
 	for ii, in := range inputs {
 		sc.reset()
@@ -199,8 +210,13 @@ func precompute(sys model.Enumerable, ref model.StateRef,
 			inEx[ci] = sys.ExtractInput(c, in)
 		}
 		sys.ApplyInput(in)
+		inMask, inOK := sc.dirty()
 		for ci, c := range colours {
-			phiIn[ci] = model.AbstractDigest(sys, c)
+			if inOK && !wide && inMask&(1<<uint(ci)) == 0 {
+				phiIn[ci] = info.phi[ci]
+			} else {
+				phiIn[ci] = model.AbstractDigest(sys, c)
+			}
 		}
 		info.phiIn[ii] = phiIn
 		info.inEx[ii] = inEx

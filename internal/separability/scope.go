@@ -35,6 +35,21 @@ func openScopeAt(sys model.SharedSystem, ref model.StateRef) *stateScope {
 	return sc
 }
 
+// dirty consults the system's DirtyTracker for the set of colours possibly
+// mutated since the anchor (or the most recent reset): bit ci covers
+// Colours()[ci]. ok=false — no checkpoint, no tracker, or the tracker
+// declined — means the caller must assume everything is dirty.
+func (sc *stateScope) dirty() (uint64, bool) {
+	if sc.ckp == nil {
+		return 0, false
+	}
+	dt, ok := sc.sys.(model.DirtyTracker)
+	if !ok {
+		return 0, false
+	}
+	return dt.DirtyColours(sc.cp)
+}
+
 func (sc *stateScope) reset() {
 	if sc.ckp != nil {
 		sc.ckp.Rollback(sc.cp)

@@ -32,6 +32,41 @@ func BenchmarkMicroInstructionALU(b *testing.B) {
 	}
 }
 
+// benchMicroDispatch measures raw instruction dispatch over a long
+// straight-line block of register/immediate ALU traffic closed by a branch
+// — the shape the verification hot loops spend their time in — driven
+// through Run, the bulk-execution path. ns/op is ns per instruction. The
+// Translated/Interpreted pair records the translation cache's speedup
+// (ROADMAP raw-speed item; see EXPERIMENTS.md E15).
+func benchMicroDispatch(b *testing.B, translate bool) {
+	m := machine.New(0x1000)
+	m.SetTranslation(translate)
+	im := asm.MustAssemble(`
+		.org 0x100
+	loop:
+		ADD #1, R0
+		XOR R0, R1
+		ADD #3, R2
+		AND R0, R3
+		OR R2, R4
+		SUB #1, R5
+		MOV R0, R5
+		SHL #1, R1
+		ADD R2, R0
+		XOR #0x55, R4
+		MOV #7, R3
+		MUL R0, R2
+		BR loop
+	`)
+	m.LoadImage(im.Org, im.Words)
+	m.SetPC(im.Org)
+	b.ResetTimer()
+	m.Run(b.N)
+}
+
+func BenchmarkMicroDispatchTranslated(b *testing.B)  { benchMicroDispatch(b, true) }
+func BenchmarkMicroDispatchInterpreted(b *testing.B) { benchMicroDispatch(b, false) }
+
 func BenchmarkMicroInstructionMemory(b *testing.B) {
 	m := machine.New(0x1000)
 	im := asm.MustAssemble(`
