@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -22,6 +22,7 @@ fuzz-smoke:
 	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzBuildCFG -fuzztime 10s
 	$(GO) test ./internal/machine -run '^$$' -fuzz FuzzTranslationInvalidation -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
+	$(GO) test ./internal/witness -run '^$$' -fuzz FuzzWitnessRead -fuzztime 10s
 
 # Trace-analysis smoke (E14): replay the committed golden traces through
 # septrace. The honest Physical/KernelHosted pair must be indistinguishable,
@@ -44,10 +45,30 @@ trace-smoke:
 	grep -q 'regime 0:' trace-smoke/project-live.txt
 	@echo "trace-smoke: all verdicts as expected"
 
+# Witness smoke (E16): verify two leaky kernels with -witness-dir so every
+# violation is captured, shrunk and stored, then replay each store from its
+# artifacts alone with -require-shrink — replay must reproduce the recorded
+# condition/colour/digest pair on a freshly built system, and the shrinker
+# must have dropped ops overall. A second replay with -notranslate pins the
+# witnesses to architected state (independent of the translation cache).
+# Artifacts land in witness-smoke/ for CI upload. sepverify exits 0 here:
+# with -leak, catching the leak is the expected outcome.
+witness-smoke:
+	rm -rf witness-smoke
+	$(GO) run ./cmd/sepverify -leak RegisterLeak -seed 99 -witness-dir witness-smoke > witness-smoke-verify.txt 2>&1
+	$(GO) run ./cmd/sepverify -leak SharedScratch -seed 99 -witness-dir witness-smoke >> witness-smoke-verify.txt 2>&1
+	mv witness-smoke-verify.txt witness-smoke/verify.txt
+	$(GO) run ./cmd/sepwitness -dir witness-smoke/RegisterLeak -require-shrink replay
+	$(GO) run ./cmd/sepwitness -dir witness-smoke/SharedScratch -require-shrink replay
+	$(GO) run ./cmd/sepwitness -dir witness-smoke/RegisterLeak -notranslate replay
+	$(GO) run ./cmd/sepwitness -dir witness-smoke/SharedScratch -notranslate replay
+	@echo "witness-smoke: all witnesses replayed from artifacts"
+
 # Race-detector pass over the concurrent verification engine, the kernel
-# adapter it replicates, and the observability counters they share.
+# adapter it replicates, the witness store fed from worker results, and the
+# observability counters they share.
 race:
-	$(GO) test -race ./internal/separability/... ./internal/kernel/... ./internal/obs/...
+	$(GO) test -race ./internal/separability/... ./internal/kernel/... ./internal/witness/... ./internal/obs/...
 
 test:
 	$(GO) test ./...

@@ -8,8 +8,10 @@
 // Observability (see internal/obs):
 //
 //	sepverify -metrics             # per-condition check counts + worker throughput
-//	sepverify -progress            # periodic progress lines on stderr
+//	sepverify -progress            # periodic progress lines (throughput, ETA)
 //	sepverify -cpuprofile cpu.out  # pprof profiles of the verification run
+//	sepverify -listen :9090 -pprof # live /metrics plus /debug/pprof handlers
+//	sepverify -witness-dir W       # persist replayable counterexample witnesses
 //
 // Exit status is 0 when the verification outcome matches expectation
 // (honest passes / leaky is caught), 1 otherwise.
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/separability"
 	"repro/internal/verifysys"
+	"repro/internal/witness"
 )
 
 func main() {
@@ -61,6 +65,10 @@ func realMain() int {
 		"print periodic progress lines (trials/states so far) to stderr")
 	listen := flag.String("listen", "",
 		"serve live verifier counters at http://ADDR/metrics while the run lasts (e.g. :9090)")
+	pprofFlag := flag.Bool("pprof", false,
+		"with -listen: also serve net/http/pprof handlers under /debug/pprof/")
+	witnessDir := flag.String("witness-dir", "",
+		"capture each distinct violation as a replayable witness artifact under this directory (see sepwitness)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -107,30 +115,47 @@ func realMain() int {
 		}()
 	}
 
-	if *exhaustive {
-		runExhaustive(*workers)
-		return 0
+	if *pprofFlag && *listen == "" {
+		fmt.Fprintln(os.Stderr, "sepverify: -pprof requires -listen")
+		return 2
 	}
 
 	// One registry serves -metrics, -progress and the final report; every
 	// runOne in an -all sweep accumulates into it.
 	var reg *obs.Registry
-	if *metrics || *progress || *listen != "" {
+	if *metrics || *progress || *listen != "" || *witnessDir != "" {
 		reg = obs.NewRegistry()
 	}
 	start := time.Now()
 	if *progress {
-		stop := startProgress(reg)
+		variants := uint64(1)
+		if *all {
+			variants += uint64(len(leakNames()))
+		}
+		expectStates := uint64(0)
+		if !*exhaustive {
+			expectStates = variants * uint64(*trials) * uint64(*steps)
+		}
+		stop := startProgress(reg, expectStates)
 		defer stop()
 	}
 	if *listen != "" {
-		bound, shutdown, err := obs.ListenMetrics(*listen, reg)
+		bound, shutdown, err := obs.ListenMetricsOpts(*listen, reg,
+			obs.ListenOptions{Pprof: *pprofFlag})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sepverify:", err)
 			return 2
 		}
 		fmt.Fprintf(os.Stderr, "serving metrics at http://%s/metrics\n", bound)
 		defer shutdown()
+	}
+
+	if *exhaustive {
+		runExhaustive(*workers, reg)
+		if *metrics {
+			reportMetrics(reg, time.Since(start), *metricsFormat)
+		}
+		return 0
 	}
 
 	opt := separability.Options{
@@ -141,15 +166,14 @@ func realMain() int {
 	status := 0
 	if *all {
 		ok := true
-		if r, err := runOne("honest", kernel.Leaks{}, true, opt, true, *notranslate); err != nil {
+		if r, err := runOne("", true, opt, true, *notranslate, *witnessDir); err != nil {
 			fmt.Fprintln(os.Stderr, "sepverify:", err)
 			return 2
 		} else {
 			ok = r
 		}
 		for _, name := range leakNames() {
-			l := kernel.AllLeaks()[name]
-			r, err := runOne(name, l, true, opt, false, *notranslate)
+			r, err := runOne(name, true, opt, false, *notranslate, *witnessDir)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sepverify:", err)
 				return 2
@@ -160,22 +184,18 @@ func realMain() int {
 			status = 1
 		}
 	} else {
-		leaks := kernel.Leaks{}
 		expectPass := true
-		name := "honest"
 		if *leak != "" {
-			l, found := kernel.AllLeaks()[*leak]
-			if !found {
+			if _, found := kernel.AllLeaks()[*leak]; !found {
 				fmt.Fprintf(os.Stderr, "sepverify: unknown leak %q (try -list)\n", *leak)
 				return 2
 			}
-			leaks, expectPass, name = l, false, *leak
+			expectPass = false
 		}
 		if *uncut {
 			expectPass = false
-			name += " (uncut)"
 		}
-		ok, err := runOne(name, leaks, !*uncut, opt, expectPass, *notranslate)
+		ok, err := runOne(*leak, !*uncut, opt, expectPass, *notranslate, *witnessDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sepverify:", err)
 			return 2
@@ -200,14 +220,21 @@ func leakNames() []string {
 	return names
 }
 
-func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options, expectPass, notranslate bool) (bool, error) {
-	sys, err := verifysys.Build(verifysys.ProbeFor(leaks), leaks, cut)
+// runOne verifies one variant: leakName names a planted leak ("" = the
+// honest kernel). With witnessDir set, every distinct violation is
+// captured, shrunk and persisted under a per-variant subdirectory.
+func runOne(leakName string, cut bool, opt separability.Options, expectPass, notranslate bool, witnessDir string) (bool, error) {
+	name := leakName
+	if name == "" {
+		name = "honest"
+	}
+	if !cut {
+		name += " (uncut)"
+	}
+	spec := verifysys.SpecFor(leakName, cut, notranslate)
+	sys, err := verifysys.FromSpec(spec)
 	if err != nil {
 		return false, err
-	}
-	if notranslate {
-		// Clones inherit the setting, so parallel workers run interpreted too.
-		sys.K.Machine().SetTranslation(false)
 	}
 	res := separability.CheckRandomized(sys, opt)
 	if opt.Metrics != nil {
@@ -235,19 +262,71 @@ func runOne(name string, leaks kernel.Leaks, cut bool, opt separability.Options,
 			fmt.Printf("    %s\n", v)
 		}
 	}
+	if witnessDir != "" && !res.Passed() {
+		sub := leakName
+		if sub == "" {
+			sub = "honest"
+		}
+		if !cut {
+			sub += "-uncut"
+		}
+		dir := filepath.Join(witnessDir, sub)
+		ws, err := witness.Capture(sys, opt, res, witness.Options{
+			Dir: dir, Metrics: opt.Metrics, System: spec})
+		if err != nil {
+			return false, fmt.Errorf("witness capture: %w", err)
+		}
+		dropped := 0
+		for _, w := range ws {
+			dropped += w.OrigSteps - len(w.Steps)
+		}
+		fmt.Printf("    witnesses: %d captured -> %s (%d ops shrunk away)\n",
+			len(ws), dir, dropped)
+	}
 	return good, nil
 }
 
 // startProgress launches a ticker that reports verifier progress on stderr
 // every half second; the returned func stops it and prints a final line.
-func startProgress(reg *obs.Registry) (stop func()) {
+// Lines carry live throughput (states/sec over a ~5s sliding window) and,
+// when expectStates > 0, an ETA; exhaustive passes report percent of the
+// enumerated space completed instead (from the sep_exh_* counters).
+func startProgress(reg *obs.Registry, expectStates uint64) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	type sample struct {
+		t      time.Time
+		states uint64
+	}
+	var window []sample
 	line := func() {
-		fmt.Fprintf(os.Stderr, "progress: trials=%d states=%d violations=%d\n",
-			reg.CounterValue("sep_trials_total"),
-			reg.CounterValue("sep_states_checked_total"),
-			reg.CounterValue("sep_violations_total"))
+		now := time.Now()
+		if space := reg.CounterValue("sep_exh_space_total"); space > 0 {
+			doneU := reg.CounterValue("sep_exh_states_total")
+			fmt.Fprintf(os.Stderr, "progress: exhaustive %d/%d units (%.1f%%)\n",
+				doneU, space, 100*float64(doneU)/float64(space))
+			return
+		}
+		states := reg.CounterValue("sep_states_checked_total")
+		window = append(window, sample{now, states})
+		for len(window) > 1 && now.Sub(window[0].t) > 5*time.Second {
+			window = window[1:]
+		}
+		extra := ""
+		if len(window) > 1 {
+			if dt := now.Sub(window[0].t).Seconds(); dt > 0 {
+				rate := float64(states-window[0].states) / dt
+				extra = fmt.Sprintf(" (%.0f states/s", rate)
+				if rate > 0 && expectStates > states {
+					eta := time.Duration(float64(expectStates-states) / rate * float64(time.Second))
+					extra += fmt.Sprintf(", ~%s left", eta.Round(time.Second))
+				}
+				extra += ")"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "progress: trials=%d states=%d violations=%d%s\n",
+			reg.CounterValue("sep_trials_total"), states,
+			reg.CounterValue("sep_violations_total"), extra)
 	}
 	go func() {
 		defer close(finished)
@@ -374,11 +453,12 @@ func workerCounter(full string) (name, id string, ok bool) {
 
 // runExhaustive performs the explicit-state proofs: the full MiniSUE state
 // space and the toy-system calibration suite.
-func runExhaustive(workers int) {
+func runExhaustive(workers int, reg *obs.Registry) {
 	fmt.Println("exhaustive proof over MiniSUE (a kernel-shaped model, ~74k states x 4 inputs):")
 	for _, v := range []minisue.Variant{minisue.Secure, minisue.RegisterLeak,
 		minisue.InterruptMisroute, minisue.SharedCell} {
-		res := separability.CheckExhaustiveWorkers(minisue.New(v), 8, workers)
+		res := separability.CheckExhaustiveOpt(minisue.New(v),
+			separability.ExhaustiveOptions{MaxViolations: 8, Workers: workers, Metrics: reg})
 		fmt.Printf("  %-20s %s\n", minisue.VariantName(v)+":", res.Summary())
 	}
 	fmt.Println("\ncalibration toys (1024 states x 4 inputs, one condition violated each):")
@@ -387,7 +467,8 @@ func runExhaustive(workers int) {
 		separability.ToyInputSnoop, separability.ToyInputCross,
 		separability.ToyOutputLeak, separability.ToyNextOpLeak}
 	for _, v := range variants {
-		res := separability.CheckExhaustiveWorkers(separability.NewToySystem(v), 4, workers)
+		res := separability.CheckExhaustiveOpt(separability.NewToySystem(v),
+			separability.ExhaustiveOptions{MaxViolations: 4, Workers: workers, Metrics: reg})
 		fmt.Printf("  %-20s %s\n", separability.ToyVariantName(v)+":", res.Summary())
 	}
 }

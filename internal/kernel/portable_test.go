@@ -1,0 +1,89 @@
+package kernel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Adapter states and inputs must survive the Portable round trip exactly:
+// a decoded state restores to the same abstractions and the same future
+// behaviour, and a decoded input is extract-identical to the original.
+func TestAdapterPortableRoundTrip(t *testing.T) {
+	a := adapterSystem(t)
+	var port model.Portable = a
+
+	rng := rand.New(rand.NewSource(7))
+	a.Randomize(rng)
+	ref := a.Save()
+	phiA, phiB := a.Abstract("a"), a.Abstract("b")
+
+	b, err := port.EncodeState(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disturb the live system, then restore through the codec.
+	a.Randomize(rng)
+	got, err := port.DecodeState(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Restore(got)
+	if a.Abstract("a") != phiA || a.Abstract("b") != phiB {
+		t.Fatal("decoded state has different abstractions")
+	}
+	// Equal futures from the decoded state.
+	for i := 0; i < 20; i++ {
+		a.ApplyInput(nil)
+		a.Step()
+	}
+	after := a.Abstract("a") + a.Abstract("b")
+	a.Restore(ref)
+	for i := 0; i < 20; i++ {
+		a.ApplyInput(nil)
+		a.Step()
+	}
+	if a.Abstract("a")+a.Abstract("b") != after {
+		t.Error("decoded state diverged from original under stepping")
+	}
+
+	// Inputs: nil maps to no bytes and back to nil; a random InputVec
+	// round-trips extract-identically for every colour.
+	if eb, err := port.EncodeInput(nil); err != nil || eb != nil {
+		t.Fatalf("EncodeInput(nil) = %v, %v", eb, err)
+	}
+	if in, err := port.DecodeInput(nil); err != nil || in != nil {
+		t.Fatalf("DecodeInput(nil) = %v, %v", in, err)
+	}
+	in := a.RandomInput(rng)
+	ib, err := port.EncodeInput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := port.DecodeInput(ib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range a.Colours() {
+		if a.ExtractInput(c, in2) != a.ExtractInput(c, in) {
+			t.Errorf("decoded input differs for colour %s", c)
+		}
+	}
+}
+
+func TestAdapterDecodeStateRejectsGarbage(t *testing.T) {
+	a := adapterSystem(t)
+	if _, err := a.DecodeState(nil); err == nil {
+		t.Error("decoded empty state")
+	}
+	if _, err := a.DecodeState([]byte{2}); err == nil {
+		t.Error("decoded state with bad death flag")
+	}
+	if _, err := a.DecodeState([]byte{0, 1, 2, 3}); err == nil {
+		t.Error("decoded state with garbage snapshot")
+	}
+	if _, err := a.DecodeInput([]byte("{")); err == nil {
+		t.Error("decoded truncated input JSON")
+	}
+}

@@ -229,6 +229,22 @@ type DirtyTracker interface {
 	DirtyColours(cp Checkpoint) (mask uint64, ok bool)
 }
 
+// Portable is optionally implemented by systems whose states and inputs can
+// leave the process: the witness subsystem persists a counterexample's
+// pre-state and input sequence through these codecs and re-materializes them
+// in a later run against a freshly built system. Encodings must be
+// self-describing and versioned — DecodeState on bytes from an incompatible
+// build must fail with an error, never yield a plausible wrong state — and
+// the round trip must be exact: DecodeState(EncodeState(ref)) restores to a
+// state indistinguishable from ref under Step, ApplyInput and Abstract.
+// Encoding either direction must not disturb the system's current state.
+type Portable interface {
+	EncodeState(ref StateRef) ([]byte, error)
+	DecodeState(data []byte) (StateRef, error)
+	EncodeInput(i Input) ([]byte, error)
+	DecodeInput(data []byte) (Input, error)
+}
+
 // OpClassifier is optionally implemented by systems that can map an OpID to
 // a low-cardinality operation class for metrics (OpIDs themselves embed
 // state detail like program counters, far too many distinct values to

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // This file closes the ROADMAP item "stream sepverify -progress counters
@@ -29,17 +30,40 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// ListenOptions tunes ListenMetricsOpts.
+type ListenOptions struct {
+	// Pprof additionally serves the net/http/pprof profiling handlers
+	// under /debug/pprof/, so long verification runs can be profiled live
+	// (go tool pprof http://ADDR/debug/pprof/profile) instead of only via
+	// -cpuprofile files written at exit.
+	Pprof bool
+}
+
 // ListenMetrics exposes the registry at /metrics on addr (use host:0 for an
 // ephemeral port). It returns the bound address and a shutdown function
 // that stops the listener; scraping never perturbs the counters beyond the
 // atomic loads the registry already performs.
 func ListenMetrics(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	return ListenMetricsOpts(addr, r, ListenOptions{})
+}
+
+// ListenMetricsOpts is ListenMetrics with options.
+func ListenMetricsOpts(addr string, r *Registry, opt ListenOptions) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
+	if opt.Pprof {
+		// The pprof package registers only on http.DefaultServeMux; wire
+		// its handlers onto the private mux explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil

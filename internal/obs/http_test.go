@@ -76,6 +76,42 @@ func TestListenMetrics(t *testing.T) {
 	}
 }
 
+// The pprof handlers must be present exactly when asked for: profiling a
+// long verification run is opt-in, not an always-open debug surface.
+func TestListenMetricsPprof(t *testing.T) {
+	reg := obs.NewRegistry()
+	bound, shutdown, err := obs.ListenMetricsOpts("127.0.0.1:0", reg,
+		obs.ListenOptions{Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	code, body := get(t, "http://"+bound+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%s", body)
+	}
+	if code, _ = get(t, "http://"+bound+"/debug/pprof/heap"); code != http.StatusOK {
+		t.Errorf("GET /debug/pprof/heap = %d", code)
+	}
+	if code, _ = get(t, "http://"+bound+"/metrics"); code != http.StatusOK {
+		t.Errorf("metrics endpoint broken with pprof on: %d", code)
+	}
+
+	// Without the option, the debug surface must not exist.
+	bound2, shutdown2, err := obs.ListenMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown2()
+	if code, _ = get(t, "http://"+bound2+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof served without opt-in: %d", code)
+	}
+}
+
 // TestListenMetricsShutdownRace hammers the endpoint from several scraper
 // goroutines while counters advance and shutdown lands mid-flight. Under
 // -race (make race) this pins the guarantee that stopping the listener

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // stateInfo is the per-state precomputation the exhaustive checker works
@@ -44,6 +45,33 @@ func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
 // (1 = single-threaded; 0 = one worker per CPU core). Results are identical
 // for every worker count.
 func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *Result {
+	return CheckExhaustiveOpt(sys, ExhaustiveOptions{
+		MaxViolations: maxViolations, Workers: workers})
+}
+
+// ExhaustiveOptions tunes CheckExhaustiveOpt.
+type ExhaustiveOptions struct {
+	// MaxViolations stops the check early once this many counterexamples
+	// have been collected (0 = 64).
+	MaxViolations int
+	// Workers shards the precompute sweep and the per-colour passes
+	// across this many goroutines (1 = single-threaded; 0 = one per CPU
+	// core). Results are identical for every worker count.
+	Workers int
+	// Metrics, when non-nil, receives live progress counters so a
+	// -progress consumer can report percent-of-space completed:
+	//
+	//	sep_exh_space_total   — precompute units the pass will visit:
+	//	                        states × (1 + inputs), published up front
+	//	sep_exh_states_total  — units completed so far
+	//
+	// Attaching a registry never changes the Result.
+	Metrics *obs.Registry
+}
+
+// CheckExhaustiveOpt is the options form of CheckExhaustive.
+func CheckExhaustiveOpt(sys model.Enumerable, opt ExhaustiveOptions) *Result {
+	maxViolations, workers := opt.MaxViolations, opt.Workers
 	if maxViolations <= 0 {
 		maxViolations = 64
 	}
@@ -72,6 +100,17 @@ func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *R
 		workers = len(replicas) // 1 when the system is not replicable
 	}
 
+	// Progress counters: the space is published before the sweep starts so
+	// consumers can compute percent-complete from the first scrape; each
+	// precomputed state advances the done counter by its unit weight
+	// (1 op pass + one per input).
+	unitsPerState := uint64(1 + len(inputs))
+	var done *obs.Counter
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("sep_exh_space_total").Add(uint64(len(states)) * unitsPerState)
+		done = opt.Metrics.Counter("sep_exh_states_total")
+	}
+
 	// Phase 1: the Restore/Step/ApplyInput sweep over states×inputs,
 	// chunked across workers writing disjoint slots of infos.
 	infos := make([]*stateInfo, len(states))
@@ -94,6 +133,9 @@ func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *R
 					}
 					for si := lo; si < hi; si++ {
 						infos[si] = precompute(rep, states[si], colours, inputs)
+						if done != nil {
+							done.Add(unitsPerState)
+						}
 					}
 				}
 			}(replicas[w])
@@ -102,6 +144,9 @@ func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *R
 	} else {
 		for si, ref := range states {
 			infos[si] = precompute(sys, ref, colours, inputs)
+			if done != nil {
+				done.Add(unitsPerState)
+			}
 		}
 	}
 
@@ -276,7 +321,8 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 		res.countOp(cls(info.op), 1)
 		if info.phiOp[ci] != info.phi[ci] {
 			res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
-				Step: si, Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
+				Step: si, Want: info.phi[ci], Got: info.phiOp[ci],
+				Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
 			if tooMany() {
 				return res
 			}
@@ -307,7 +353,9 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 			res.count(Condition5)
 			if info.outEx[ci] != lead.outEx[ci] {
 				res.add(Violation{Condition: Condition5, Colour: c, Op: info.op,
-					Step: si, Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
+					Step: si,
+					Want: model.DigestString(lead.outEx[ci]), Got: model.DigestString(info.outEx[ci]),
+					Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
 						lead.outEx[ci], info.outEx[ci])})
 			}
 
@@ -316,7 +364,8 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 				res.count(Condition3)
 				if info.phiIn[ii][ci] != lead.phiIn[ii][ci] {
 					res.add(Violation{Condition: Condition3, Colour: c, Op: info.op,
-						Step: si, Detail: fmt.Sprintf("input %d: %s", ii,
+						Step: si, Want: lead.phiIn[ii][ci], Got: info.phiIn[ii][ci],
+						Detail: fmt.Sprintf("input %d: %s", ii,
 							diffDetail(phiInAt(sys, lead.ref, inputs[ii], c),
 								phiInAt(sys, info.ref, inputs[ii], c)))})
 				}
@@ -341,12 +390,15 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 				res.count(Condition6)
 				if info.op != lead.op {
 					res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
-						Step: si, Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
+						Step: si,
+						Want: model.DigestString(string(lead.op)), Got: model.DigestString(string(info.op)),
+						Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
 				}
 				res.count(Condition1)
 				if info.phiOp[ci] != lead.phiOp[ci] {
 					res.add(Violation{Condition: Condition1, Colour: c, Op: info.op,
-						Step: si, Detail: diffDetail(phiOpAt(sys, lead.ref, c),
+						Step: si, Want: lead.phiOp[ci], Got: info.phiOp[ci],
+						Detail: diffDetail(phiOpAt(sys, lead.ref, c),
 							phiOpAt(sys, info.ref, c))})
 				}
 				if tooMany() {
@@ -367,7 +419,8 @@ func checkColour(sys model.Enumerable, ci int, c model.Colour,
 				checked++
 				if info.phiIn[ii][ci] != info.phiIn[first][ci] {
 					res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
-						Step: si, Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
+						Step: si, Want: info.phiIn[first][ci], Got: info.phiIn[ii][ci],
+						Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
 							first, ii)})
 					if tooMany() {
 						res.countOp(cls(info.op), checked)

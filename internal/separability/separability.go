@@ -90,6 +90,14 @@ type Violation struct {
 	Detail    string
 	Trial     int
 	Step      int
+	// Want and Got are FNV-1a digests of the two encodings whose
+	// disagreement constitutes the violation: the Φ^c digests for the
+	// state-congruence conditions (Meta, 1, 2, 3, 4), and digests of the
+	// compared extracts, OpIDs or colours for conditions 5, 6 and the
+	// scheduling extension. They identify a counterexample across runs
+	// (package witness matches replayed violations on them) without
+	// re-deriving the full canonical strings.
+	Want, Got uint64
 }
 
 func (v Violation) String() string {
@@ -405,8 +413,19 @@ func trialSeed(seed int64, trial int) int64 {
 
 // runTrial explores one random reachable trace and checks every applicable
 // condition along it, accumulating into a private Result. It touches only
-// sys and its own RNG, so distinct trials may run concurrently on distinct
-// replicas.
+// sys and its own RNGs, so distinct trials may run concurrently on
+// distinct replicas.
+//
+// Two RNG streams are involved. The walk stream (seeded from the trial
+// seed) drives Randomize, the injected inputs and the per-step colour
+// choice — everything that determines WHICH states get checked. Each
+// step's condition sweep then draws from its own stream, seeded purely
+// from (trial seed, step). The split is what makes counterexamples
+// replayable: a witness that records the walk's inputs and a step's check
+// seed can re-run that step's exact sweep from a restored state, with or
+// without the intervening sweeps (they leave the state unchanged), and
+// even over a shrunk prefix — see WalkTrial, CheckStateSeeded and package
+// witness.
 func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Colour) *Result {
 	res := &Result{Checks: map[Condition]int{}}
 	// Live progress counter: one atomic increment per checked state, so a
@@ -418,8 +437,9 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 		liveStates = opt.Metrics.Counter("sep_states_checked_total")
 		start = time.Now()
 	}
-	rng := rand.New(rand.NewSource(trialSeed(opt.Seed, trial)))
-	sys.Randomize(rng)
+	tseed := trialSeed(opt.Seed, trial)
+	walk := rand.New(rand.NewSource(tseed))
+	sys.Randomize(walk)
 	for step := 0; step < opt.StepsPerTrial; step++ {
 		if len(res.Violations) >= opt.MaxViolations {
 			break
@@ -430,13 +450,13 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 		// historically go wrong, and the paper's motivation for a new
 		// technique).
 		if step%opt.InputEvery == opt.InputEvery-1 {
-			sys.ApplyInput(sys.RandomInput(rng))
+			sys.ApplyInput(sys.RandomInput(walk))
 		} else {
 			sys.ApplyInput(nil)
 		}
 
-		c := colours[rng.Intn(len(colours))]
-		checkState(sys, c, rng, res, trial, step, opt)
+		c := colours[walk.Intn(len(colours))]
+		checkState(sys, c, newStepRand(stepSeed(tseed, step)), res, trial, step, opt)
 		res.States++
 		if liveStates != nil {
 			liveStates.Inc()
@@ -475,7 +495,7 @@ func runTrial(sys model.Perturbable, trial int, opt Options, colours []model.Col
 // The sweep anchors on a stateScope, so systems implementing
 // model.Checkpointer pay O(words touched) per reset instead of O(state);
 // the check sequence (and every RNG draw) is identical on both paths.
-func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
+func checkState(sys model.Perturbable, c model.Colour, rng model.Rand,
 	res *Result, trial, step int, opt Options) {
 
 	sc := openScope(sys)
@@ -503,11 +523,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 		// Condition 2: an operation on another's behalf must not change
 		// Φc. Single-state check, no perturbation needed.
 		sys.Step()
-		if model.AbstractDigest(sys, c) != phi0 {
-			after := sys.Abstract(c)
+		if after := model.AbstractDigest(sys, c); after != phi0 {
+			afterStr := sys.Abstract(c)
 			res.add(Violation{Condition: Condition2, Colour: c, Op: op,
-				Trial: trial, Step: step,
-				Detail: diffDetail(phiString(), after)})
+				Trial: trial, Step: step, Want: phi0, Got: after,
+				Detail: diffDetail(phiString(), afterStr)})
 		}
 		res.count(Condition2)
 		sc.reset()
@@ -520,11 +540,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 		sc.reset()
 
 		sys.PerturbOutside(c, rng)
-		if model.AbstractDigest(sys, c) != phi0 {
-			got := sys.Abstract(c)
+		if got := model.AbstractDigest(sys, c); got != phi0 {
+			gotStr := sys.Abstract(c)
 			res.add(Violation{Condition: ConditionMeta, Colour: c, Op: op,
-				Trial: trial, Step: step,
-				Detail: "PerturbOutside failed to preserve Φc: " + diffDetail(phiString(), got)})
+				Trial: trial, Step: step, Want: phi0, Got: got,
+				Detail: "PerturbOutside failed to preserve Φc: " + diffDetail(phiString(), gotStr)})
 			res.count(ConditionMeta)
 			return
 		}
@@ -534,17 +554,18 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 			if op2 != op {
 				res.add(Violation{Condition: Condition6, Colour: c, Op: op,
 					Trial: trial, Step: step,
+					Want: model.DigestString(string(op)), Got: model.DigestString(string(op2)),
 					Detail: fmt.Sprintf("NEXTOP %q vs %q on Φc-equal states", op, op2)})
 			}
 			sys.Step()
 			res.count(Condition1)
-			if model.AbstractDigest(sys, c) != phiAfter {
-				got := sys.Abstract(c)
+			if got := model.AbstractDigest(sys, c); got != phiAfter {
+				gotStr := sys.Abstract(c)
 				sc.reset()
 				sys.Step()
 				res.add(Violation{Condition: Condition1, Colour: c, Op: op,
-					Trial: trial, Step: step,
-					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(sys.Abstract(c), got)})
+					Trial: trial, Step: step, Want: phiAfter, Got: got,
+					Detail: "Φc after op differs on Φc-equal states: " + diffDetail(sys.Abstract(c), gotStr)})
 			}
 		}
 		sc.reset()
@@ -560,6 +581,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 		if out1 := sys.ExtractOutput(c, sys.CurrentOutput()); out1 != out0 {
 			res.add(Violation{Condition: Condition5, Colour: c, Op: op,
 				Trial: trial, Step: step,
+				Want: model.DigestString(out0), Got: model.DigestString(out1),
 				Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q", out0, out1)})
 		}
 	}
@@ -581,11 +603,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	if model.AbstractDigest(sys, c) == phi0 {
 		sys.ApplyInput(in)
 		res.count(Condition3)
-		if model.AbstractDigest(sys, c) != phiIn {
-			got := sys.Abstract(c)
+		if got := model.AbstractDigest(sys, c); got != phiIn {
+			gotStr := sys.Abstract(c)
 			res.add(Violation{Condition: Condition3, Colour: c, Op: op,
-				Trial: trial, Step: step,
-				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiInString(in), got)})
+				Trial: trial, Step: step, Want: phiIn, Got: got,
+				Detail: "Φc after INPUT differs on Φc-equal states: " + diffDetail(phiInString(in), gotStr)})
 		}
 	}
 	sc.reset()
@@ -595,11 +617,11 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 	if sys.ExtractInput(c, in) == sys.ExtractInput(c, in2) {
 		sys.ApplyInput(in2)
 		res.count(Condition4)
-		if model.AbstractDigest(sys, c) != phiIn {
-			got := sys.Abstract(c)
+		if got := model.AbstractDigest(sys, c); got != phiIn {
+			gotStr := sys.Abstract(c)
 			res.add(Violation{Condition: Condition4, Colour: c, Op: op,
-				Trial: trial, Step: step,
-				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiInString(in), got)})
+				Trial: trial, Step: step, Want: phiIn, Got: got,
+				Detail: "Φc after INPUT differs on EXTRACT-equal inputs: " + diffDetail(phiInString(in), gotStr)})
 		}
 		sc.reset()
 	}
@@ -617,6 +639,7 @@ func checkState(sys model.Perturbable, c model.Colour, rng *rand.Rand,
 			if got := sys.Colour(); got != colAfter {
 				res.add(Violation{Condition: ConditionSched, Colour: c, Op: op,
 					Trial: trial, Step: step,
+					Want: model.DigestString(string(colAfter)), Got: model.DigestString(string(got)),
 					Detail: fmt.Sprintf("next active colour %q vs %q after identical op", colAfter, got)})
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/model"
+	"repro/internal/witness"
 )
 
 // WorkerSrc is the device-owning regime program.
@@ -152,6 +153,39 @@ func Factory(probe string, leaks kernel.Leaks, cut bool) func() model.Perturbabl
 		}
 		return sys
 	}
+}
+
+// SpecFor describes the standard verification system built with the given
+// leak name (empty = honest), channel cut and translation choice, as the
+// witness subsystem records it.
+func SpecFor(leakName string, cut, noTranslate bool) witness.SystemSpec {
+	return witness.SystemSpec{Kind: "verifysys", Leak: leakName, Cut: cut,
+		NoTranslate: noTranslate}
+}
+
+// FromSpec rebuilds the system a witness was captured from. Only the
+// "verifysys" kind is known; the leak name must be one of kernel.AllLeaks
+// (or empty for the honest kernel).
+func FromSpec(spec witness.SystemSpec) (*kernel.Adapter, error) {
+	if spec.Kind != "verifysys" {
+		return nil, fmt.Errorf("verifysys: unknown system kind %q", spec.Kind)
+	}
+	var leaks kernel.Leaks
+	if spec.Leak != "" {
+		l, ok := kernel.AllLeaks()[spec.Leak]
+		if !ok {
+			return nil, fmt.Errorf("verifysys: unknown leak %q", spec.Leak)
+		}
+		leaks = l
+	}
+	sys, err := Build(ProbeFor(leaks), leaks, spec.Cut)
+	if err != nil {
+		return nil, err
+	}
+	if spec.NoTranslate {
+		sys.K.Machine().SetTranslation(false)
+	}
+	return sys, nil
 }
 
 // Build boots the standard verification system with the given probe

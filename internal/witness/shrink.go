@@ -1,0 +1,110 @@
+package witness
+
+import (
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/separability"
+)
+
+// Greybox shrinking: every candidate is validated by an actual replay, so
+// a shrunk witness is by construction still a witness. Two passes, both
+// bounded by a replay budget:
+//
+//  1. prefix halving — drop the first n entries (the walk then starts from
+//     the trial snapshot and skips straight to the tail), halving n on
+//     failure. Violating states are usually *absorbing* (a leaked value
+//     sits in memory), so most of the walk's approach run is droppable.
+//  2. prefix absorption — when drops stall above the tail target (some
+//     violations are alignment-sensitive: removing any one machine step
+//     moves the final program counter off the leaking instruction, so no
+//     drop-candidate trips), advance the snapshot itself along the walk
+//     and keep only the last maxTail entries. The final state is then
+//     reached identically by construction, so this shrink never changes
+//     the violation — it trades "walk from trial start" for "walk from a
+//     later checkpoint".
+//  3. linear drops — remove single entries right-to-left. The last entry
+//     is never dropped: its input and the sweep after it are the violation
+//     itself.
+//
+// A candidate "still trips" when the recorded condition fires for the
+// recorded colour under the recorded CheckSeed; the digest pair may drift
+// while shrinking (a shorter walk reaches a different violating state), so
+// the caller re-stamps the witness from the last good replay's violation.
+
+// shrinkTail is how many walk entries prefix absorption keeps: enough to
+// show the operations leading into the violation, short enough that every
+// witness is readable.
+const shrinkTail = 16
+
+// shrinkSeq shrinks ins — already verified to trip, with violation got —
+// returning the (possibly advanced) pre-state, the shrunk sequence and the
+// violation its replay produces. budget bounds the number of candidate
+// replays (recorded in w.ShrinkReplays); shrunkOps (optional) counts
+// dropped entries.
+func shrinkSeq(sys model.Perturbable, ref model.StateRef, ins []model.Input,
+	w *Witness, got separability.Violation, budget int,
+	replayed, shrunkOps *obs.Counter) (model.StateRef, []model.Input, separability.Violation) {
+
+	cur, last := ins, got
+
+	trips := func(cand []model.Input) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		w.ShrinkReplays++
+		if v := replaySeq(sys, ref, cand, w, replayed); v != nil {
+			last = *v
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: prefix halving.
+	for n := len(cur) / 2; n >= 1 && budget > 0; {
+		if trips(cur[n:]) {
+			if shrunkOps != nil {
+				shrunkOps.Add(uint64(n))
+			}
+			cur = cur[n:]
+			n = len(cur) / 2
+		} else {
+			n /= 2
+		}
+	}
+
+	// Pass 2: prefix absorption. Walk the snapshot forward to shrinkTail
+	// entries before the violating step, then verify the (by construction
+	// identical) final state still trips under the recorded seed.
+	if n := len(cur) - shrinkTail; n > 0 && budget > 0 {
+		sys.Restore(ref)
+		for i := 0; i < n; i++ {
+			sys.ApplyInput(cur[i])
+			sys.Step()
+		}
+		ref2 := sys.Save()
+		budget--
+		w.ShrinkReplays++
+		if v := replaySeq(sys, ref2, cur[n:], w, replayed); v != nil &&
+			v.Want == last.Want && v.Got == last.Got {
+			if shrunkOps != nil {
+				shrunkOps.Add(uint64(n))
+			}
+			ref, cur, last = ref2, cur[n:], *v
+		}
+	}
+
+	// Pass 3: linear single-entry drops (never the last entry).
+	for i := len(cur) - 2; i >= 0 && budget > 0; i-- {
+		cand := make([]model.Input, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		if trips(cand) {
+			if shrunkOps != nil {
+				shrunkOps.Inc()
+			}
+			cur = cand
+		}
+	}
+	return ref, cur, last
+}

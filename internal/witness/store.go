@@ -1,0 +1,193 @@
+package witness
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The on-disk layout of a witness directory:
+//
+//	<dir>/manifest.jsonl   — one canonical JSON Witness per line, appended
+//	<dir>/blobs/<sha256>   — pre-state snapshot blobs, content-addressed
+//
+// Both sides are content-addressed: blobs by their SHA-256, manifest
+// records by the ID baked into each line (the SHA-256 of the record with
+// its ID blanked). Re-capturing the identical counterexample is therefore
+// idempotent — the store recognizes the ID and skips the append.
+
+const (
+	manifestName = "manifest.jsonl"
+	blobsDir     = "blobs"
+	// maxManifestLine bounds one manifest record; a line is a few KB of
+	// metadata plus the encoded input steps, far below this.
+	maxManifestLine = 16 << 20
+)
+
+func hashHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// canonicalJSON is the byte form IDs are computed over and manifest lines
+// are written in: encoding/json with fixed field order (struct order) and
+// compacted RawMessage values. Re-encoding a decoded witness reproduces
+// the same bytes — the fixed point FuzzWitnessRead checks.
+func canonicalJSON(w *Witness) ([]byte, error) {
+	return json.Marshal(w)
+}
+
+// computeID derives the content address of a witness record: the first 16
+// hex digits of the SHA-256 of its canonical JSON with the ID field empty.
+func computeID(w *Witness) (string, error) {
+	cp := *w
+	cp.ID = ""
+	b, err := canonicalJSON(&cp)
+	if err != nil {
+		return "", err
+	}
+	return hashHex(b)[:16], nil
+}
+
+// writeWitness persists w into dir, creating the layout as needed. The
+// blob write and the manifest append are both skipped when the content is
+// already present.
+func writeWitness(dir string, w *Witness) error {
+	if w.ID == "" {
+		return fmt.Errorf("witness: refusing to persist a witness without an ID")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, blobsDir), 0o755); err != nil {
+		return err
+	}
+	if w.blob != nil {
+		bp := filepath.Join(dir, blobsDir, w.Snapshot)
+		if _, err := os.Stat(bp); os.IsNotExist(err) {
+			if err := os.WriteFile(bp, w.blob, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+
+	existing, err := Load(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range existing {
+		if e.ID == w.ID {
+			return nil
+		}
+	}
+	line, err := canonicalJSON(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, manifestName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads the manifest of a witness directory. Snapshot blobs are NOT
+// loaded — call LoadState per witness before replaying. A missing
+// manifest yields an empty slice (an empty store, not an error).
+func Load(dir string) ([]*Witness, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ws, err := ReadManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("witness: %s: %w", filepath.Join(dir, manifestName), err)
+	}
+	return ws, nil
+}
+
+// ReadManifest decodes a manifest.jsonl stream. Every line must be a
+// valid witness record: parseable JSON, an ID consistent with the record's
+// content, and a well-formed snapshot hash. The decoder is total — any
+// input, including adversarial bytes, yields witnesses or an error, never
+// a panic (FuzzWitnessRead holds it to that).
+func ReadManifest(r io.Reader) ([]*Witness, error) {
+	var out []*Witness
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxManifestLine)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		w := &Witness{}
+		if err := json.Unmarshal(line, w); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		if err := validate(w); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		out = append(out, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// validate enforces the structural invariants a record must satisfy before
+// anything trusts it: a content-consistent ID, a hex snapshot address, and
+// at least one step (the violating step itself).
+func validate(w *Witness) error {
+	id, err := computeID(w)
+	if err != nil {
+		return err
+	}
+	if w.ID != id {
+		return fmt.Errorf("witness %q: ID does not match content (want %s)", w.ID, id)
+	}
+	if len(w.Snapshot) != 64 {
+		return fmt.Errorf("witness %s: snapshot address %q is not a sha256", w.ID, w.Snapshot)
+	}
+	if _, err := hex.DecodeString(w.Snapshot); err != nil {
+		return fmt.Errorf("witness %s: snapshot address: %w", w.ID, err)
+	}
+	if len(w.Steps) == 0 {
+		return fmt.Errorf("witness %s: no steps", w.ID)
+	}
+	if w.Step < 0 || w.Trial < 0 || len(w.Steps) > w.OrigSteps {
+		return fmt.Errorf("witness %s: inconsistent step accounting", w.ID)
+	}
+	return nil
+}
+
+// LoadState reads and verifies the witness's snapshot blob from dir,
+// making the witness replayable.
+func (w *Witness) LoadState(dir string) error {
+	if w.blob != nil {
+		return nil
+	}
+	b, err := os.ReadFile(filepath.Join(dir, blobsDir, w.Snapshot))
+	if err != nil {
+		return err
+	}
+	if hashHex(b) != w.Snapshot {
+		return fmt.Errorf("witness %s: snapshot blob corrupt (hash mismatch)", w.ID)
+	}
+	w.blob = b
+	return nil
+}
