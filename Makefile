@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke flow-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -20,6 +20,7 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzBuildCFG -fuzztime 10s
+	$(GO) test ./internal/staticflow -run '^$$' -fuzz FuzzVSAResolve -fuzztime 10s
 	$(GO) test ./internal/machine -run '^$$' -fuzz FuzzTranslationInvalidation -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
 	$(GO) test ./internal/witness -run '^$$' -fuzz FuzzWitnessRead -fuzztime 10s
@@ -63,6 +64,24 @@ witness-smoke:
 	$(GO) run ./cmd/sepwitness -dir witness-smoke/RegisterLeak -notranslate replay
 	$(GO) run ./cmd/sepwitness -dir witness-smoke/SharedScratch -notranslate replay
 	@echo "witness-smoke: all witnesses replayed from artifacts"
+
+# Flow-triage smoke (E17): capture a witness store from the RegisterLeak
+# build, then run the static analyzer's triage over the honest kernel's
+# residual SWAP flows against it. Exactly one flow — the R5 restore the
+# planted leak realizes — must come back CONFIRMED; the passing dynamic
+# check dismisses the other six as SPURIOUS and nothing may stay
+# UNDECIDED. Artifacts land in flow-smoke/ for CI upload. sepverify exits
+# 0 here: with -leak, catching the leak is the expected outcome.
+flow-smoke:
+	rm -rf flow-smoke
+	$(GO) run ./cmd/sepverify -leak RegisterLeak -seed 99 -witness-dir flow-smoke > flow-smoke-verify.txt 2>&1
+	mv flow-smoke-verify.txt flow-smoke/verify.txt
+	$(GO) run ./cmd/sepflow -swap -dynamic -triage -witness-dir flow-smoke/RegisterLeak > flow-smoke/triage.txt
+	grep -q '1 CONFIRMED, 6 SPURIOUS, 0 UNDECIDED (100% classified)' flow-smoke/triage.txt
+	grep 'witness ' flow-smoke/triage.txt | grep CONFIRMED | grep -q 'r5'
+	$(GO) run ./cmd/sepflow -swap -dynamic -triage > flow-smoke/triage-clean.txt
+	grep -q '0 CONFIRMED, 7 SPURIOUS, 0 UNDECIDED (100% classified)' flow-smoke/triage-clean.txt
+	@echo "flow-smoke: R5 restore confirmed by witness, rest spurious"
 
 # Race-detector pass over the concurrent verification engine, the kernel
 # adapter it replicates, the witness store fed from worker results, and the

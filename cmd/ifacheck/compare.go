@@ -100,6 +100,36 @@ func compareVerdicts(programsDir string) ([]compareRow, error) {
 		}
 		rows = append(rows, compareRow{name, verdict(irRep.Certified()), machRep.Verdict()})
 	}
+
+	// The SNFE censor designs, IR model vs assembled fixture. The strict
+	// censor is the interesting row: its machine rendering spills HIGH and
+	// LOW words on the same stack, which only the frame-offset stack cells
+	// keep apart — the coarse analyzer disagreed with the IR verdict here.
+	censors := []struct {
+		name string
+		ir   *ifa.Program
+	}{
+		{"censor_format", ifa.CensorFormatSpec()},
+		{"censor_canon", ifa.CensorCanonSpec()},
+		{"censor_strict", ifa.CensorStrictSpec()},
+	}
+	two := ifa.TwoPoint()
+	for _, c := range censors {
+		irRep := ifa.Certify(c.ir, two)
+		src, err := os.ReadFile(filepath.Join(programsDir, c.name+".s"))
+		if err != nil {
+			return nil, err
+		}
+		img, err := asm.Assemble(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s.s: %w", c.name, err)
+		}
+		machRep, err := staticflow.Analyze(img, staticflow.CensorSpec(c.name))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, compareRow{c.name, verdict(irRep.Certified()), machRep.Verdict()})
+	}
 	return rows, nil
 }
 

@@ -20,6 +20,9 @@ func TestCompareAgreement(t *testing.T) {
 		"counter":              "CERTIFIED",
 		"echo":                 "CERTIFIED",
 		"chanpair":             "CERTIFIED",
+		"censor_format":        "REJECTED",
+		"censor_canon":         "REJECTED",
+		"censor_strict":        "CERTIFIED",
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(want))

@@ -14,6 +14,14 @@
 // (only the scheduling variable changes) is CERTIFIED. Add -dynamic to run
 // the randomized Proof of Separability on the standard verification system
 // right next to it, printing the two verdicts side by side.
+//
+// Add -triage to classify each residual static flow against dynamic
+// evidence: flows matching a captured counterexample in the -witness-dir
+// store are CONFIRMED, flows dismissed by a passing -dynamic check are
+// SPURIOUS, the rest stay UNDECIDED:
+//
+//	sepverify -leak RegisterLeak -seed 99 -witness-dir /tmp/ws
+//	sepflow -swap -dynamic -triage -witness-dir /tmp/ws
 package main
 
 import (
@@ -28,7 +36,9 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/separability"
 	"repro/internal/staticflow"
+	"repro/internal/staticflow/triage"
 	"repro/internal/verifysys"
+	"repro/internal/witness"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
@@ -42,6 +52,10 @@ func run(args []string, out io.Writer) int {
 	part := fs.Uint("part", 0x1000, "partition size in words")
 	swap := fs.Bool("swap", false, "analyze the kernel SWAP sequence (the default with no files)")
 	dynamic := fs.Bool("dynamic", false, "also run the randomized Proof of Separability (with -swap)")
+	triageFlag := fs.Bool("triage", false,
+		"classify each residual SWAP flow against dynamic evidence (with -swap)")
+	witnessDir := fs.String("witness-dir", "",
+		"witness store to triage against (see sepverify -witness-dir)")
 	quiet := fs.Bool("q", false, "print one-line summaries instead of full reports")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,7 +69,7 @@ func run(args []string, out io.Writer) int {
 	}
 
 	if fs.NArg() == 0 || *swap {
-		return runSwap(out, *dynamic, *quiet)
+		return runSwap(out, *dynamic, *triageFlag, *quiet, *witnessDir)
 	}
 
 	exit := 0
@@ -92,7 +106,7 @@ func run(args []string, out io.Writer) int {
 
 // runSwap prints the §4 demonstration. The rejection here is the expected
 // outcome, so this mode exits 0 unless something breaks outright.
-func runSwap(out io.Writer, dynamic, quiet bool) int {
+func runSwap(out io.Writer, dynamic, triageFlag, quiet bool, witnessDir string) int {
 	colours := []staticflow.Colour{"red", "black"}
 	conc, err := staticflow.AnalyzeKernelSwap(colours, 0, 1)
 	if err != nil {
@@ -112,6 +126,8 @@ func runSwap(out io.Writer, dynamic, quiet bool) int {
 		fmt.Fprint(out, abs.String())
 	}
 
+	cleanPass := false
+	cleanNote := ""
 	dynVerdict := "see `sepverify` (run with -dynamic to check here)"
 	if dynamic {
 		sys, err := verifysys.Build(verifysys.ProbePlain, kernel.Leaks{}, true)
@@ -124,10 +140,28 @@ func runSwap(out io.Writer, dynamic, quiet bool) int {
 		})
 		if res.Passed() {
 			dynVerdict = "PROVED separable (" + res.Summary() + ")"
+			cleanPass = true
+			cleanNote = "proof of separability passed (10 trials, seed 99)"
 		} else {
 			dynVerdict = "FAILED (" + res.Summary() + ")"
 			fmt.Fprintln(out, "sepflow: the honest kernel failed separability — investigate")
 		}
+	}
+
+	if triageFlag {
+		var ws []*witness.Witness
+		if witnessDir != "" {
+			ws, err = witness.Load(witnessDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sepflow:", err)
+				return 2
+			}
+		}
+		findings := triage.Classify(conc, triage.Options{
+			Witnesses: ws, CleanPass: cleanPass, CleanNote: cleanNote,
+		})
+		fmt.Fprintln(out)
+		fmt.Fprint(out, triage.Table(findings))
 	}
 
 	fmt.Fprintln(out)

@@ -5,12 +5,14 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/kernel"
 	"repro/internal/separability"
 	"repro/internal/staticflow"
 	"repro/internal/verifysys"
+	"repro/internal/witness"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -56,6 +58,48 @@ func TestGoldenPrograms(t *testing.T) {
 
 func TestGoldenKernelSwap(t *testing.T) {
 	golden(t, "kernelswap", runCLI(t, 0, "-swap"))
+}
+
+// The acceptance gate for triage: on the golden (honest) kernel every
+// residual SWAP flow is classified — the passing dynamic check dismisses
+// all seven as SPURIOUS, and nothing is left UNDECIDED. The check is
+// seeded, so the whole output is golden-stable.
+func TestGoldenSwapTriage(t *testing.T) {
+	golden(t, "triage_honest", runCLI(t, 0, "-swap", "-dynamic", "-triage"))
+}
+
+// With a witness store captured from the RegisterLeak build, triage
+// upgrades exactly the R5 restore to CONFIRMED: the one residual flow the
+// planted leak actually realizes.
+func TestTriageWithRegisterLeakStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := verifysys.SpecFor("RegisterLeak", true, false)
+	sys, err := verifysys.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copt := separability.Options{Trials: 10, StepsPerTrial: 100, Seed: 99,
+		CheckScheduling: true}
+	res := separability.CheckRandomized(sys, copt)
+	if res.Passed() {
+		t.Fatal("RegisterLeak not caught; no store to triage against")
+	}
+	if _, err := witness.Capture(sys, copt, res, witness.Options{
+		Dir: dir, System: spec}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCLI(t, 0, "-swap", "-dynamic", "-triage", "-witness-dir", dir)
+	if !strings.Contains(out, "1 CONFIRMED, 6 SPURIOUS, 0 UNDECIDED (100% classified)") {
+		t.Errorf("unexpected triage tally:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "CONFIRMED") && !strings.Contains(line, "residual flows") {
+			if !strings.Contains(line, "r5") || !strings.Contains(line, "witness ") {
+				t.Errorf("confirmed line is not the witnessed R5 restore: %s", line)
+			}
+		}
+	}
 }
 
 func TestUncutChannelProgramRejected(t *testing.T) {

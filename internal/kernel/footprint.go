@@ -1,0 +1,174 @@
+package kernel
+
+// Per-trap kernel-service footprints, exported for tools that model the
+// kernel's behaviour from outside (package staticflow consumes this table to
+// build colour transfer functions for TRAP instructions, and the seplint
+// rule trap-summary-sync holds it in sync with layout.go).
+//
+// A footprint is written against the CALLING regime: the save-area slot
+// offsets are relative to SaveBase(i) for the caller i, so the colour of
+// every slot named here is the caller's own colour — the table is
+// regime-indexed by construction, never a join over all regimes. The slots
+// are taken from the service paths in kernel.go: every service enters
+// through saveCurrent (which writes the caller's R0..R5, SP, PC and PSW
+// slots) and leaves through resume (which reads them back), so those base
+// slots appear in every footprint; the per-service extras are the slots the
+// service switch itself touches.
+
+// RegEffect classifies what a kernel-written register value reveals to the
+// calling regime.
+type RegEffect int
+
+// RegEffect values.
+const (
+	// EffKernelOwn marks a value the kernel produced about the caller's own
+	// view (a status flag, an occupancy count): it carries the caller's
+	// colour.
+	EffKernelOwn RegEffect = iota
+	// EffConfig marks a static configuration constant (the regime index):
+	// it carries the lattice bottom.
+	EffConfig
+	// EffChannelIn marks a datum imported from a channel peer: it is
+	// relabelled at the cut endpoint, or flow-checked when channels are
+	// modelled uncut.
+	EffChannelIn
+)
+
+// RegWrite is one caller register a service writes on return, with the
+// classification of the written value.
+type RegWrite struct {
+	Reg    int
+	Effect RegEffect
+}
+
+// TrapFootprint is the read/write footprint of one kernel service.
+type TrapFootprint struct {
+	Code Word
+	Name string
+
+	// ReadRegs are the caller registers the service consumes as arguments
+	// (their colour reaches kernel data, never another regime's view).
+	ReadRegs []int
+	// WriteRegs are the caller registers the service writes on return; all
+	// other registers ride across the trap unchanged (saved and restored
+	// through the caller's own save area).
+	WriteRegs []RegWrite
+
+	// SaveReads and SaveWrites are save-area slot offsets (relative to the
+	// caller's SaveBase) the service path reads and writes.
+	SaveReads  []Word
+	SaveWrites []Word
+
+	// ChanOutReg is the caller register whose value leaves through a
+	// configured channel (-1: none) — the SEND endpoint X1. ChanInReg is
+	// the register that receives a channel datum (-1: none) — the RECV
+	// endpoint X2.
+	ChanOutReg int
+	ChanInReg  int
+
+	// Sched reports that the service may hand the CPU to another regime,
+	// touching the kernel's scheduling variable (SchedCurrentAddr).
+	Sched bool
+}
+
+// saveBaseSlots are the slots every service touches: saveCurrent writes the
+// caller's registers and trap frame on entry, resume reads them back on the
+// way out.
+func saveBaseSlots() []Word {
+	return []Word{
+		saveR0, saveR0 + 1, saveR0 + 2, saveR0 + 3, saveR0 + 4, saveR0 + 5,
+		saveSP, savePC, savePSW,
+	}
+}
+
+func withSlots(extra ...Word) []Word { return append(saveBaseSlots(), extra...) }
+
+// Footprints returns one TrapFootprint per kernel service, in service-code
+// order. The slice is freshly built on each call; callers may mutate it.
+func Footprints() []TrapFootprint {
+	return []TrapFootprint{
+		{
+			Code: TrapSwap, Name: TrapName(TrapSwap),
+			// scheduleNext reads every regime's run state and pending word,
+			// but only the caller's slots are part of the caller's footprint;
+			// the decision itself is the scheduling variable changing hands.
+			SaveReads:  withSlots(saveState, savePending),
+			SaveWrites: saveBaseSlots(),
+			ChanOutReg: -1, ChanInReg: -1,
+			Sched: true,
+		},
+		{
+			Code: TrapSend, Name: TrapName(TrapSend),
+			ReadRegs:   []int{0, 1},
+			WriteRegs:  []RegWrite{{Reg: 0, Effect: EffKernelOwn}},
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: saveBaseSlots(),
+			ChanOutReg: 1, ChanInReg: -1,
+		},
+		{
+			Code: TrapRecv, Name: TrapName(TrapRecv),
+			ReadRegs: []int{0},
+			WriteRegs: []RegWrite{
+				{Reg: 0, Effect: EffKernelOwn},
+				{Reg: 1, Effect: EffChannelIn},
+			},
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: saveBaseSlots(),
+			ChanOutReg: -1, ChanInReg: 1,
+		},
+		{
+			Code: TrapIRQOn, Name: TrapName(TrapIRQOn),
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: withSlots(saveIPL),
+			ChanOutReg: -1, ChanInReg: -1,
+		},
+		{
+			Code: TrapIRQOff, Name: TrapName(TrapIRQOff),
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: withSlots(saveIPL),
+			ChanOutReg: -1, ChanInReg: -1,
+		},
+		{
+			Code: TrapPoll, Name: TrapName(TrapPoll),
+			ReadRegs: []int{0},
+			WriteRegs: []RegWrite{
+				{Reg: 0, Effect: EffKernelOwn},
+				{Reg: 1, Effect: EffKernelOwn},
+			},
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: saveBaseSlots(),
+			ChanOutReg: -1, ChanInReg: -1,
+		},
+		{
+			Code: TrapHalt, Name: TrapName(TrapHalt),
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: withSlots(saveState),
+			ChanOutReg: -1, ChanInReg: -1,
+			Sched: true,
+		},
+		{
+			Code: TrapWaitIRQ, Name: TrapName(TrapWaitIRQ),
+			SaveReads:  withSlots(savePending),
+			SaveWrites: withSlots(saveState),
+			ChanOutReg: -1, ChanInReg: -1,
+			Sched: true,
+		},
+		{
+			Code: TrapID, Name: TrapName(TrapID),
+			WriteRegs:  []RegWrite{{Reg: 0, Effect: EffConfig}},
+			SaveReads:  saveBaseSlots(),
+			SaveWrites: saveBaseSlots(),
+			ChanOutReg: -1, ChanInReg: -1,
+		},
+	}
+}
+
+// FootprintFor returns the footprint of a service code.
+func FootprintFor(code Word) (TrapFootprint, bool) {
+	for _, fp := range Footprints() {
+		if fp.Code == code {
+			return fp, true
+		}
+	}
+	return TrapFootprint{}, false
+}

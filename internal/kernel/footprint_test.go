@@ -1,0 +1,116 @@
+package kernel
+
+import "testing"
+
+// Every kernel service code must have exactly one footprint, under its
+// canonical name, covering at least the base save slots that saveCurrent
+// writes and resume reads on every service path.
+func TestFootprintsCoverAllServices(t *testing.T) {
+	fps := Footprints()
+	byCode := map[Word]TrapFootprint{}
+	for _, fp := range fps {
+		if _, dup := byCode[fp.Code]; dup {
+			t.Errorf("duplicate footprint for code %d", fp.Code)
+		}
+		byCode[fp.Code] = fp
+	}
+	for code := TrapSwap; code <= TrapID; code++ {
+		fp, ok := byCode[code]
+		if !ok {
+			t.Errorf("no footprint for service %s (code %d)", TrapName(code), code)
+			continue
+		}
+		if fp.Name != TrapName(code) {
+			t.Errorf("footprint %d named %q, want %q", code, fp.Name, TrapName(code))
+		}
+		base := map[Word]bool{}
+		for _, s := range saveBaseSlots() {
+			base[s] = true
+		}
+		for _, slots := range [][]Word{fp.SaveReads, fp.SaveWrites} {
+			covered := map[Word]bool{}
+			for _, s := range slots {
+				covered[s] = true
+				if s >= saveStride {
+					t.Errorf("%s: slot offset %d outside the save area stride", fp.Name, s)
+				}
+			}
+			for s := range base {
+				if !covered[s] {
+					t.Errorf("%s: base save slot +%d missing (saveCurrent/resume touch it on every service)", fp.Name, s)
+				}
+			}
+		}
+	}
+	if len(fps) != int(TrapID)+1 {
+		t.Errorf("Footprints() has %d entries, want %d", len(fps), int(TrapID)+1)
+	}
+}
+
+// The footprints must agree with the service implementations on the facts
+// the static analyzer relies on: which registers each service writes, and
+// which services are channel endpoints.
+func TestFootprintRegisterEffects(t *testing.T) {
+	writes := func(code Word) map[int]RegEffect {
+		fp, ok := FootprintFor(code)
+		if !ok {
+			t.Fatalf("no footprint for code %d", code)
+		}
+		m := map[int]RegEffect{}
+		for _, w := range fp.WriteRegs {
+			m[w.Reg] = w.Effect
+		}
+		return m
+	}
+
+	// syscall(): TrapSend writes R0 (status); TrapRecv writes R0 and R1;
+	// TrapPoll writes R0 and R1; TrapID writes R0 from the static regime
+	// index; the yielding services write no registers at all.
+	if w := writes(TrapSend); len(w) != 1 || w[0] != EffKernelOwn {
+		t.Errorf("SEND writes = %v, want {R0: kernel-own}", w)
+	}
+	if w := writes(TrapRecv); len(w) != 2 || w[0] != EffKernelOwn || w[1] != EffChannelIn {
+		t.Errorf("RECV writes = %v, want {R0: kernel-own, R1: channel-in}", w)
+	}
+	if w := writes(TrapPoll); len(w) != 2 || w[0] != EffKernelOwn || w[1] != EffKernelOwn {
+		t.Errorf("POLL writes = %v, want {R0,R1: kernel-own}", w)
+	}
+	if w := writes(TrapID); len(w) != 1 || w[0] != EffConfig {
+		t.Errorf("WHOAMI writes = %v, want {R0: config}", w)
+	}
+	for _, code := range []Word{TrapSwap, TrapIRQOn, TrapIRQOff, TrapHalt, TrapWaitIRQ} {
+		if w := writes(code); len(w) != 0 {
+			t.Errorf("%s writes registers %v; the implementation writes none", TrapName(code), w)
+		}
+	}
+
+	// Channel endpoints: exactly SEND exports R1 and RECV imports into R1.
+	for code := TrapSwap; code <= TrapID; code++ {
+		fp, _ := FootprintFor(code)
+		wantOut, wantIn := -1, -1
+		switch code {
+		case TrapSend:
+			wantOut = 1
+		case TrapRecv:
+			wantIn = 1
+		}
+		if fp.ChanOutReg != wantOut || fp.ChanInReg != wantIn {
+			t.Errorf("%s channel regs out=%d in=%d, want out=%d in=%d",
+				fp.Name, fp.ChanOutReg, fp.ChanInReg, wantOut, wantIn)
+		}
+	}
+
+	// Scheduling services: the ones whose implementation calls resume with
+	// a regime other than the caller.
+	for code := TrapSwap; code <= TrapID; code++ {
+		fp, _ := FootprintFor(code)
+		want := code == TrapSwap || code == TrapHalt || code == TrapWaitIRQ
+		if fp.Sched != want {
+			t.Errorf("%s Sched = %v, want %v", fp.Name, fp.Sched, want)
+		}
+	}
+
+	if _, ok := FootprintFor(0xFF); ok {
+		t.Error("FootprintFor(0xFF) = ok, want miss")
+	}
+}

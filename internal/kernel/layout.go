@@ -197,12 +197,17 @@ func SaveBase(i int) Word { return saveBase(i) }
 
 // Save-area slot offsets and stride, relative to SaveBase(i).
 const (
-	SaveOffR0      = saveR0  // R0..R5 at SaveOffR0..SaveOffR0+5
-	SaveOffSP      = saveSP  // saved stack pointer
-	SaveOffPC      = savePC  // saved program counter
-	SaveOffPSW     = savePSW // saved processor status word
+	SaveOffR0      = saveR0      // R0..R5 at SaveOffR0..SaveOffR0+5
+	SaveOffSP      = saveSP      // saved stack pointer
+	SaveOffPC      = savePC      // saved program counter
+	SaveOffPSW     = savePSW     // saved processor status word
+	SaveOffPending = savePending // pending-interrupt bitmask
 	SaveAreaStride = saveStride
 )
+
+// ScratchAddr returns the physical address of the kernel scratch word — the
+// word the SharedScratch leak maps into every regime's address space.
+func ScratchAddr() Word { return KData + kdScratch }
 
 // SchedCurrentAddr returns the physical address of the kernel word that
 // records which regime holds the CPU — the scheduling variable the paper's

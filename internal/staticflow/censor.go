@@ -1,0 +1,37 @@
+package staticflow
+
+import "repro/internal/ifa"
+
+// Machine-level spec for the SNFE bypass censor programs
+// (programs/censor_*.s). The structured-IR models in internal/ifa/censor.go
+// certify the censor designs; these fixtures are the same designs as
+// genuinely assembled SM11 code, so the machine-level analyzer can be
+// compared against the IR verdicts (cmd/ifacheck -compare) and against its
+// own coarse configuration (the differential tests).
+//
+// The censor is the one trusted process that handles HIGH data by design,
+// so its registers and private stack are classified HIGH; the security
+// question is solely what reaches the network-visible LOW output fields.
+
+// Censor memory map, shared by all three fixtures.
+const (
+	CensorHdrBase   Word = 0x500 // red-supplied header fields (HIGH)
+	CensorStateBase Word = 0x600 // censor-private counters (LOW)
+	CensorOutBase   Word = 0x700 // network-visible output fields (LOW)
+	censorWindow    Word = 0x10
+)
+
+// CensorSpec classifies the censor memory map under the LOW ⊑ HIGH
+// lattice. All three censor fixtures share it; name labels the report.
+func CensorSpec(name string) Spec {
+	return Spec{
+		Name:  name,
+		Entry: ifa.High,
+		Regions: []Region{
+			{Name: "header", Lo: CensorHdrBase, Hi: CensorHdrBase + censorWindow, Colour: ifa.High},
+			{Name: "state", Lo: CensorStateBase, Hi: CensorStateBase + censorWindow, Colour: ifa.Low},
+			{Name: "out", Lo: CensorOutBase, Hi: CensorOutBase + censorWindow, Colour: ifa.Low},
+		},
+		Lattice: ifa.TwoPoint(),
+	}
+}

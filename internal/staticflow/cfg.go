@@ -78,8 +78,12 @@ type CFG struct {
 	Entry    int   // block index of the program entry
 	IRQRoots []int // block indices of discovered interrupt handlers
 	// Notes record decoding caveats: unresolved indirect jumps, branches
-	// out of the image, undecodable bytes.
+	// out of the image, undecodable bytes. Identical notes are recorded
+	// once, however many decode walks revisit the site.
 	Notes []string
+	// Resolved maps the address of each indirect JMP/JSR that value-set
+	// analysis resolved to its sorted list of proven targets.
+	Resolved map[Word][]Word
 }
 
 // NumInstrs counts decoded instructions across all blocks.
@@ -103,7 +107,62 @@ func (g *CFG) blockAt(addr Word, byAddr map[Word]int) int {
 // `start` symbol (or the image origin) and from every interrupt handler the
 // program installs into the regime vector table. Decoding is reachability
 // based, so .word data that is never executed is never misparsed.
+//
+// Indirect JMP/JSR sites are fed to value-set analysis (vsa.go): when a
+// site's target set is proven finite the graph is rebuilt with those edges
+// in place, iterating until the resolution map is stable (new edges can
+// reveal new code, which can invalidate the ROM assumption resolutions
+// depend on). Sites that never resolve keep the sound top-colour treatment
+// in the flow analysis, with one note each.
 func BuildCFG(img *asm.Image) (*CFG, error) {
+	return buildCFG(img, true)
+}
+
+// vsaRounds caps the build→resolve→rebuild iterations. On the last round
+// the resolution map is verified once more; if it is still unstable the
+// builder falls back to the fully unresolved graph, which is always sound.
+const vsaRounds = 4
+
+func buildCFG(img *asm.Image, useVSA bool) (*CFG, error) {
+	resolved := map[Word][]Word{}
+	for round := 0; ; round++ {
+		g, err := buildOnce(img, resolved)
+		if err != nil || !useVSA {
+			return g, err
+		}
+		next := vsaResolve(img, g)
+		if resolutionsEqual(resolved, next) {
+			g.Resolved = resolved
+			return g, nil
+		}
+		if round >= vsaRounds-1 {
+			// No fixpoint within budget: drop every resolution.
+			g, err = buildOnce(img, map[Word][]Word{})
+			return g, err
+		}
+		resolved = next
+	}
+}
+
+func resolutionsEqual(a, b map[Word][]Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for site, ta := range a {
+		tb, ok := b[site]
+		if !ok || len(ta) != len(tb) {
+			return false
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func buildOnce(img *asm.Image, resolved map[Word][]Word) (*CFG, error) {
 	if img == nil || len(img.Words) == 0 {
 		return nil, fmt.Errorf("staticflow: empty image")
 	}
@@ -112,10 +171,12 @@ func BuildCFG(img *asm.Image) (*CFG, error) {
 		entry = s
 	}
 	b := &cfgBuilder{
-		img:     img,
-		instrs:  map[Word]*Instr{},
-		succs:   map[Word][]succ{},
-		leaders: map[Word]bool{},
+		img:      img,
+		instrs:   map[Word]*Instr{},
+		succs:    map[Word][]succ{},
+		leaders:  map[Word]bool{},
+		resolved: resolved,
+		noted:    map[string]bool{},
 	}
 	b.addRoot(entry)
 	for len(b.work) > 0 {
@@ -153,10 +214,19 @@ type cfgBuilder struct {
 	irqRoots    []Word
 	returnSites []Word
 	notes       []string
+	noted       map[string]bool
+	resolved    map[Word][]Word // indirect JMP/JSR sites proven by VSA
 }
 
+// note records one decoding caveat. Decode walks from different roots can
+// revisit the same site, so identical messages are kept once.
 func (b *cfgBuilder) note(format string, args ...any) {
-	b.notes = append(b.notes, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	if b.noted[msg] {
+		return
+	}
+	b.noted[msg] = true
+	b.notes = append(b.notes, msg)
 }
 
 func (b *cfgBuilder) inImage(a Word) bool {
@@ -235,10 +305,17 @@ func (b *cfgBuilder) decodeFrom(a Word) {
 				kind = EdgeCall
 			}
 			spec := machine.DstSpec(in.Words[0])
-			if machine.SpecMode(spec) == machine.ModeExtended &&
-				machine.SpecReg(spec) == machine.RegSP {
+			switch {
+			case machine.SpecMode(spec) == machine.ModeExtended &&
+				machine.SpecReg(spec) == machine.RegSP:
 				b.addSucc(a, in.Words[len(in.Words)-1], kind)
-			} else {
+			case len(b.resolved[a]) > 0:
+				for _, t := range b.resolved[a] {
+					b.addSucc(a, t, kind)
+				}
+				b.note("indirect %s at %04x resolved by value-set analysis (%d targets): %s",
+					machine.OpName(op), a, len(b.resolved[a]), in.Text)
+			default:
 				b.note("unresolved indirect %s at %04x: %s",
 					machine.OpName(op), a, in.Text)
 			}

@@ -1,0 +1,161 @@
+package staticflow_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/staticflow"
+)
+
+// coarse is the precision configuration of the analyzer before this
+// package grew VSA, stack cells and flag liveness.
+var coarsePrecision = staticflow.Precision{
+	NoVSA: true, NoStackCells: true, NoFlagLiveness: true,
+}
+
+// loadProgram assembles one programs/*.s source under its natural spec:
+// censor fixtures are standalone under CensorSpec, everything else is a
+// regime program under the kernel prelude.
+func loadProgram(t *testing.T, dir, name string) (*asm.Image, staticflow.Spec) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(dir, name+".s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(name, "censor_") {
+		img, err := asm.Assemble(string(src))
+		if err != nil {
+			t.Fatalf("%s.s: %v", name, err)
+		}
+		return img, staticflow.CensorSpec(name)
+	}
+	img, err := asm.Assemble(kernel.Prelude + string(src))
+	if err != nil {
+		t.Fatalf("%s.s: %v", name, err)
+	}
+	return img, staticflow.ProgramSpec(name, "RED", []staticflow.Colour{"BLACK"}, 0x1000)
+}
+
+// TestDifferentialPrecision is the no-regression rail for every precision
+// lever: over every shipped program the precise analyzer is never less
+// precise than the coarse one (anything the coarse analyzer certifies, the
+// precise one certifies; the violation count never grows), and the planted
+// kernel leaks never flip from REJECTED to CERTIFIED (leaks_test.go checks
+// each lever in isolation; here the full-vs-coarse direction).
+func TestDifferentialPrecision(t *testing.T) {
+	dir := filepath.Join("..", "..", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".s"); ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) < 6 {
+		t.Fatalf("programs/ holds %d sources, want the 3 regime programs + 3 censors", len(names))
+	}
+
+	for _, name := range names {
+		img, spec := loadProgram(t, dir, name)
+		precise, err := staticflow.Analyze(img, spec)
+		if err != nil {
+			t.Fatalf("%s precise: %v", name, err)
+		}
+		spec.Precision = coarsePrecision
+		coarse, err := staticflow.Analyze(img, spec)
+		if err != nil {
+			t.Fatalf("%s coarse: %v", name, err)
+		}
+		if coarse.Certified() && !precise.Certified() {
+			t.Errorf("%s: precision regression — coarse CERTIFIED, precise REJECTED:\n%s",
+				name, precise)
+		}
+		if p, c := len(precise.Violations), len(coarse.Violations); p > c {
+			t.Errorf("%s: precise analyzer found MORE violations (%d) than coarse (%d)",
+				name, p, c)
+		}
+	}
+
+	// The planted leaks must stay REJECTED in both configurations.
+	for _, f := range staticflow.LeakFixtures() {
+		for _, p := range []staticflow.Precision{{}, coarsePrecision} {
+			f := f
+			f.Spec.Precision = p
+			rep, err := staticflow.AnalyzeLeakFixture(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Certified() {
+				t.Errorf("leak %s certified under %+v", f.Name, p)
+			}
+		}
+	}
+}
+
+// TestDifferentialHeadlines pins the individual verdicts the differential
+// rail rides on: the regime programs certify at both precisions, the
+// format and canonicalizing censors reject at both (real syntactic flows),
+// and the strict censor is the precision headline — its PUSH/POP
+// interleave is a false positive of the coarse joined-stack summary that
+// frame-offset cells dissolve.
+func TestDifferentialHeadlines(t *testing.T) {
+	dir := filepath.Join("..", "..", "programs")
+	want := map[string]struct{ precise, coarse bool }{
+		"counter":       {true, true},
+		"echo":          {true, true},
+		"chanpair":      {true, true},
+		"censor_format": {false, false},
+		"censor_canon":  {false, false},
+		"censor_strict": {true, false},
+	}
+	for name, w := range want {
+		img, spec := loadProgram(t, dir, name)
+		precise, err := staticflow.Analyze(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Precision = coarsePrecision
+		coarse, err := staticflow.Analyze(img, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if precise.Certified() != w.precise {
+			t.Errorf("%s precise certified = %v, want %v:\n%s",
+				name, precise.Certified(), w.precise, precise)
+		}
+		if coarse.Certified() != w.coarse {
+			t.Errorf("%s coarse certified = %v, want %v:\n%s",
+				name, coarse.Certified(), w.coarse, coarse)
+		}
+	}
+
+	// The kernel SWAP false-positive count: 15 syntactic flows coarse,
+	// 7 after flag liveness (the register restores — E17's before/after).
+	precise, err := staticflow.AnalyzeKernelSwap([]staticflow.Colour{"red", "black"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := staticflow.KernelSwapSpec([]staticflow.Colour{"red", "black"}, 0, 1)
+	spec.Precision = coarsePrecision
+	img, err := asm.Assemble(staticflow.KernelSwapSource(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := staticflow.Analyze(img, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse.Violations) != 15 {
+		t.Errorf("coarse SWAP violations = %d, want 15", len(coarse.Violations))
+	}
+	if len(precise.Violations) != 7 {
+		t.Errorf("precise SWAP violations = %d, want 7", len(precise.Violations))
+	}
+}

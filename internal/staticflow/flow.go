@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/ifa"
-	"repro/internal/kernel"
 	"repro/internal/machine"
 )
 
@@ -38,18 +37,27 @@ type witness struct {
 
 // state maps locations to colours, storing only entries that differ from
 // the spec-declared default. Witnesses ride along and never influence the
-// fixpoint (colour maps alone decide convergence).
+// fixpoint (colour maps and stack cells alone decide convergence). The
+// stack fields are the frame-offset cell overlay (stack.go): stk holds the
+// tracked cells bottom-to-top, stkLost marks a sound collapse onto the
+// locStack summary, and stkVirgin marks a state no predecessor has reached
+// yet (its depth-0 stack is a placeholder, not a fact).
 type state struct {
 	col map[loc]Colour
 	wit map[loc]witness
+
+	stk       []stackCell
+	stkLost   bool
+	stkVirgin bool
 }
 
 func newState() *state {
-	return &state{col: map[loc]Colour{}, wit: map[loc]witness{}}
+	return &state{col: map[loc]Colour{}, wit: map[loc]witness{}, stkVirgin: true}
 }
 
 func (s *state) clone() *state {
-	c := &state{col: make(map[loc]Colour, len(s.col)), wit: make(map[loc]witness, len(s.wit))}
+	c := &state{col: make(map[loc]Colour, len(s.col)), wit: make(map[loc]witness, len(s.wit)),
+		stk: append([]stackCell{}, s.stk...), stkLost: s.stkLost, stkVirgin: s.stkVirgin}
 	for k, v := range s.col {
 		c.col[k] = v
 	}
@@ -69,6 +77,13 @@ type analysis struct {
 	pcCol     []Colour // implicit-flow colour per block
 	handlerIn *state   // join state at interrupt-handler entries
 
+	// cellsOn enables the frame-offset stack cells (stack.go); off, every
+	// stack op uses the locStack summary as before.
+	cellsOn bool
+	// liveAfter maps instruction addresses to condition-code liveness
+	// after the instruction (liveness.go); nil means live everywhere.
+	liveAfter map[Word]bool
+
 	rep      *Report
 	seen     map[string]bool // violation/channel dedup
 	warnSeen map[string]bool
@@ -77,7 +92,7 @@ type analysis struct {
 // Analyze runs the static information-flow analysis of the image under the
 // spec and returns the report.
 func Analyze(img *asm.Image, spec Spec) (*Report, error) {
-	g, err := BuildCFG(img)
+	g, err := buildCFG(img, !spec.Precision.NoVSA)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +114,13 @@ func AnalyzeCFG(g *CFG, spec Spec) *Report {
 	a.bot = a.lat.Bottom()
 	for i := range a.pcCol {
 		a.pcCol[i] = a.bot
+	}
+	// Interrupt delivery pushes a frame and reads the PSW between any two
+	// instructions, so handler programs keep the coarse stack summary and
+	// always-live condition codes.
+	a.cellsOn = !spec.Precision.NoStackCells && len(g.IRQRoots) == 0
+	if !spec.Precision.NoFlagLiveness {
+		a.liveAfter = flagsLiveAfter(g)
 	}
 	a.handlerIn = newState()
 	a.rep.Notes = append(a.rep.Notes, g.Notes...)
@@ -140,6 +162,9 @@ func (a *analysis) set(s *state, l loc, c Colour, w witness) {
 // joinInto joins src into dst, reporting whether dst changed.
 func (a *analysis) joinInto(dst, src *state) bool {
 	changed := false
+	if a.cellsOn && a.joinStacks(dst, src) {
+		changed = true
+	}
 	keys := map[loc]bool{}
 	for k := range dst.col {
 		keys[k] = true
@@ -172,6 +197,9 @@ func (a *analysis) joinInto(dst, src *state) bool {
 }
 
 func (a *analysis) equalStates(x, y *state) bool {
+	if a.cellsOn && !equalStacks(x, y) {
+		return false
+	}
 	keys := map[loc]bool{}
 	for k := range x.col {
 		keys[k] = true
@@ -262,8 +290,13 @@ func (a *analysis) run() {
 }
 
 // entryState builds the program-entry state: everything at its declared
-// colour (the maps start empty; defaults supply the colours).
-func (a *analysis) entryState() *state { return newState() }
+// colour (the maps start empty; defaults supply the colours), with a real
+// depth-0 tracked stack.
+func (a *analysis) entryState() *state {
+	s := newState()
+	s.stkVirgin = false
+	return s
+}
 
 // inner runs the worklist dataflow under the current pcCol/handlerIn,
 // returning each block's out-state. With report set, flow checks record
@@ -283,10 +316,16 @@ func (a *analysis) inner(report bool) []*state {
 		}
 	}
 	a.joinInto(ins[a.g.Entry], a.entryState())
-	push(a.g.Entry)
 	for _, r := range a.g.IRQRoots {
 		a.joinInto(ins[r], a.handlerIn)
-		push(r)
+	}
+	// Seed every block, not just the roots: a block whose in-state join is
+	// a no-op (all defaults) would otherwise never be processed, leaving
+	// its out-state empty and the implicit-flow recomputation blind to any
+	// condition-code colour it raises.
+	push(a.g.Entry)
+	for i := 0; i < n; i++ {
+		push(i)
 	}
 	outs := make([]*state, n)
 	for i := range outs {
@@ -423,6 +462,10 @@ func (a *analysis) writeOperand(in *Instr, spec, ext Word, c Colour, explicit Co
 			a.warnf("write to PC at %04x (%s) treated as control transfer only", in.Addr, in.Text)
 			return
 		}
+		if l == locSP {
+			// An explicit SP write breaks the cell/SP correspondence.
+			st.stackLose()
+		}
 		a.checkedSet(in, st, l, c, explicit, from, fromDesc, report)
 	case machine.ModeExtended:
 		if reg == machine.RegPC {
@@ -434,7 +477,9 @@ func (a *analysis) writeOperand(in *Instr, spec, ext Word, c Colour, explicit Co
 		a.checkedSet(in, st, memLoc(ext), c, explicit, from, fromDesc, report)
 	default:
 		// Store through a run-time address: it could land in any declared
-		// region, so the value must flow to every one of them.
+		// region, so the value must flow to every one of them — and it may
+		// alias the stack, so the tracked cells collapse.
+		st.stackLose()
 		if report {
 			for i := range a.spec.Regions {
 				r := &a.spec.Regions[i]
@@ -500,8 +545,11 @@ func (a *analysis) step(in *Instr, st *state, pc Colour, report bool) {
 		dstExt = getExt(dstSpec)
 	}
 
+	// Flag writes are flow-checked only where the condition codes are live
+	// (liveness.go); the colour always propagates so the state stays sound.
+	flagsLive := a.liveAfter == nil || a.liveAfter[in.Addr]
 	setFlags := func(c Colour, from loc, fromDesc string) {
-		a.checkedSet(in, st, locFlags, c, c, from, fromDesc, report)
+		a.checkedSet(in, st, locFlags, c, c, from, fromDesc, report && flagsLive)
 	}
 
 	switch op {
@@ -537,12 +585,44 @@ func (a *analysis) step(in *Instr, st *state, pc Colour, report bool) {
 
 	case machine.OpPUSH:
 		sc, from, fromDesc := a.readOperand(in, srcSpec, srcExt, st)
-		joined := a.lat.Lub(a.lat.Lub(sc, pc), a.get(st, locStack))
-		a.checkedSet(in, st, locStack, joined, sc, from, fromDesc, report)
+		pushed := a.lat.Lub(sc, pc)
+		if a.cellsOn && st.stackTracked() {
+			// Precise cell: flow-check the push against the stack's
+			// declared colour, record the exact pushed colour at this
+			// depth, and keep the summary absorbing it for any later
+			// collapse.
+			if report && !a.lat.Leq(pushed, a.def(locStack)) {
+				a.report(Flow{
+					Kind: FlowStore, Addr: in.Addr, Text: in.Text,
+					From: pushed, To: a.def(locStack), Dst: a.locDesc(locStack),
+					Implicit: a.lat.Leq(sc, a.def(locStack)),
+					Chain:    a.chain(st, from),
+				})
+			}
+			w := witness{addr: in.Addr, text: in.Text, from: from, fromDesc: fromDesc}
+			st.stackPush(stackCell{col: pushed, wit: w})
+			a.set(st, locStack, a.lat.Lub(pushed, a.get(st, locStack)), w)
+		} else {
+			joined := a.lat.Lub(pushed, a.get(st, locStack))
+			a.checkedSet(in, st, locStack, joined, sc, from, fromDesc, report)
+		}
 
 	case machine.OpPOP:
-		c := a.lat.Lub(a.get(st, locStack), pc)
-		a.writeOperand(in, dstSpec, dstExt, c, a.get(st, locStack), locStack, a.locDesc(locStack), st, report)
+		var cell stackCell
+		ok := false
+		if a.cellsOn {
+			cell, ok = st.stackPop()
+		}
+		if ok {
+			// Precise cell: the pop carries exactly the colour pushed at
+			// this depth, with the push's own witness for the chain.
+			st.wit[locStack] = cell.wit
+			c := a.lat.Lub(cell.col, pc)
+			a.writeOperand(in, dstSpec, dstExt, c, cell.col, locStack, a.locDesc(locStack), st, report)
+		} else {
+			c := a.lat.Lub(a.get(st, locStack), pc)
+			a.writeOperand(in, dstSpec, dstExt, c, a.get(st, locStack), locStack, a.locDesc(locStack), st, report)
+		}
 
 	case machine.OpMFPS:
 		c := a.lat.Lub(a.get(st, locFlags), pc)
@@ -554,55 +634,45 @@ func (a *analysis) step(in *Instr, st *state, pc Colour, report bool) {
 
 	case machine.OpTRAP:
 		a.trap(in, st, pc, report)
-	}
-	// Branches, JMP/JSR/RTS/RTI, HALT, WAIT, NOP move no data; branch
-	// conditions reach the analysis through control dependence instead.
-}
 
-// trap models the kernel service ABI: SEND and RECV are the sanctioned
-// channel endpoints (the paper's X1/X2 cut-channel aliases); every service
-// writes its results with the kernel's own hand.
-func (a *analysis) trap(in *Instr, st *state, pc Colour, report bool) {
-	code := machine.TrapCodeOf(in.Words[0])
-	entry := a.spec.Entry
-	switch code {
-	case kernel.TrapSend:
-		c := a.lat.Lub(a.get(st, loc(1)), pc) // R1 carries the datum
-		if report {
-			a.report(Flow{
-				Kind: FlowChannel, Addr: in.Addr, Text: in.Text,
-				From: c, To: entry, Dst: "SEND endpoint (X1): R1 leaves through the kernel channel",
-				Chain: a.chain(st, loc(1)),
-			})
+	case machine.OpJSR:
+		if a.cellsOn {
+			// The pushed return address is a code constant; only the
+			// implicit pc colour rides on which address it is.
+			w := witness{addr: in.Addr, text: in.Text, from: locNone, fromDesc: "return address"}
+			st.stackPush(stackCell{col: pc, wit: w})
+			a.set(st, locStack, a.lat.Lub(pc, a.get(st, locStack)), w)
 		}
-		a.kernelSet(in, st, loc(0), entry) // status
-	case kernel.TrapRecv:
-		inColour := entry // cut endpoint X2: relabelled on import
-		if a.spec.Uncut {
-			for _, p := range a.spec.Peers {
-				inColour = a.lat.Lub(inColour, p)
+
+	case machine.OpRTS:
+		if a.cellsOn {
+			st.stackPop() // discard the tracked return address
+		}
+
+	case machine.OpRTI:
+		if a.cellsOn {
+			// Pops a PC/PSW frame the analyzer did not see pushed.
+			st.stackLose()
+		}
+
+	case machine.OpHALT:
+		// A kernel fragment's HALT is the dispatch: the hardware hands the
+		// register file to the incoming regime named by the spec.
+		if dc := a.spec.DispatchColour; dc != "" && report {
+			for r := 0; r < 6; r++ {
+				c := a.get(st, loc(r))
+				if !a.lat.Leq(c, dc) {
+					a.report(Flow{
+						Kind: FlowStore, Addr: in.Addr, Text: in.Text,
+						From: c, To: dc,
+						Dst:   fmt.Sprintf("register R%d handed to the %s regime at dispatch", r, dc),
+						Chain: a.chain(st, loc(r)),
+					})
+				}
 			}
 		}
-		if report {
-			a.report(Flow{
-				Kind: FlowChannel, Addr: in.Addr, Text: in.Text,
-				From: inColour, To: entry, Dst: "RECV endpoint (X2): R1 imported through the kernel channel",
-			})
-		}
-		a.kernelSet(in, st, loc(0), entry)
-		// Uncut channels are the configured flows sepverify -uncut shows:
-		// the import is flow-checked instead of relabelled.
-		a.checkedSet(in, st, loc(1), inColour, inColour, locNone,
-			"uncut channel import", report)
-	case kernel.TrapPoll:
-		a.kernelSet(in, st, loc(0), entry)
-		a.kernelSet(in, st, loc(1), entry)
-	case kernel.TrapID:
-		a.kernelSet(in, st, loc(0), a.bot) // static configuration constant
-	case kernel.TrapSwap, kernel.TrapIRQOn, kernel.TrapIRQOff,
-		kernel.TrapWaitIRQ, kernel.TrapHalt:
-		// Registers ride across unchanged (the kernel saves and restores).
-	default:
-		a.kernelSet(in, st, loc(0), entry) // unknown service: error code
 	}
+	// Branches, JMP, WAIT and NOP move no data; branch conditions reach
+	// the analysis through control dependence instead.
 }
+

@@ -83,6 +83,10 @@ func KernelSwapSpec(colours []Colour, from, to int) Spec {
 		Entry:   colours[from],
 		Regions: regions,
 		Lattice: ifa.Isolation(colours...),
+		// The HALT is the dispatch: the register file is handed to the
+		// incoming regime, so a register still carrying anything that does
+		// not flow to the incoming colour (a skipped restore) is a flow.
+		DispatchColour: colours[to],
 	}
 }
 
@@ -104,6 +108,10 @@ func AnalyzeKernelSwapAbstract(colours []Colour, from, to int) (*Report, error) 
 	}
 	spec := KernelSwapSpec(colours, from, to)
 	spec.Name = fmt.Sprintf("kernel-swap-spec %s->%s", colours[from], colours[to])
+	// The abstract operation changes only the scheduling variable; the
+	// register handoff is below its level of abstraction, so no dispatch
+	// check applies.
+	spec.DispatchColour = ""
 	return Analyze(img, spec)
 }
 

@@ -1,0 +1,197 @@
+package staticflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/ifa"
+	"repro/internal/kernel"
+)
+
+// Static renderings of the kernel's planted leaks. internal/kernel/leaks.go
+// enumerates seven deliberate separation violations that can be compiled
+// into a SUE-Go instance; the dynamic verifier must catch all seven. This
+// file renders each leak's essential data movement as an SM11 fragment over
+// the kernel's real physical addresses, under a spec that classifies those
+// addresses the way the kernel configuration does — so the *static*
+// analyzer must reject all seven too. The fixtures are the soundness rail
+// for every precision lever in this package: however much sharper VSA,
+// trap summaries, stack cells and flag liveness make the analyzer, a
+// planted leak flipping to CERTIFIED is a bug (asserted by TestLeakFixtures
+// and the differential tests).
+
+// LeakFixture is one planted leak in statically-analyzable form.
+type LeakFixture struct {
+	// Name matches the field name in kernel.Leaks / kernel.AllLeaks().
+	Name string
+	// Source is the SM11 rendering of the leaking data movement.
+	Source string
+	// Spec classifies the touched addresses as the kernel config does.
+	Spec Spec
+}
+
+// leakColours fixes the two-regime classification the fixtures use:
+// regime 0 is red (the outgoing/owning side), regime 1 is black.
+var leakColours = []Colour{"red", "black"}
+
+// kernelRegions returns the classification shared by the kernel-fragment
+// fixtures: the scheduling variable at bottom, each regime's save area in
+// its own colour, plus any extra regions the fixture needs.
+func kernelRegions(extra ...Region) []Region {
+	regions := []Region{{
+		Name: "sched", Lo: kernel.SchedCurrentAddr(),
+		Hi: kernel.SchedCurrentAddr() + 1, Colour: ifa.IsolationBottom,
+	}}
+	for i, c := range leakColours {
+		regions = append(regions, Region{
+			Name:   fmt.Sprintf("save.%s", c),
+			Lo:     kernel.SaveBase(i),
+			Hi:     kernel.SaveBase(i) + kernel.SaveAreaStride,
+			Colour: c,
+		})
+	}
+	return append(regions, extra...)
+}
+
+// kernelFragmentSpec builds a spec for a kernel fragment executing on
+// behalf of the red regime, dispatching black at its HALT.
+func kernelFragmentSpec(name string, extra ...Region) Spec {
+	return Spec{
+		Name:           fmt.Sprintf("leak-%s", name),
+		Entry:          leakColours[0],
+		Regions:        kernelRegions(extra...),
+		Lattice:        ifa.Isolation(leakColours...),
+		DispatchColour: leakColours[1],
+	}
+}
+
+// registerLeakSource renders the SWAP sequence with the R5 restore skipped:
+// the outgoing regime's R5 rides into the incoming regime's register file.
+func registerLeakSource(from, to int) string {
+	full := KernelSwapSource(from, to)
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(full, "\n") {
+		if strings.Contains(line, "restore incoming R5") {
+			b.WriteString("\t\t\t\t; RegisterLeak: R5 restore skipped\n")
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// LeakFixtures returns one fixture per planted leak in kernel.AllLeaks(),
+// in a fixed order.
+func LeakFixtures() []LeakFixture {
+	red, black := leakColours[0], leakColours[1]
+	partRed := Region{Name: "part.red", Lo: 0x2000, Hi: 0x2010, Colour: red}
+	partBlack := Region{Name: "part.black", Lo: 0x2010, Hi: 0x2020, Colour: black}
+	devRed := Region{Name: "dev.red", Lo: 0x3000, Hi: 0x3001, Colour: red}
+	scratch := Region{Name: "scratch", Lo: kernel.ScratchAddr(),
+		Hi: kernel.ScratchAddr() + 1, Colour: ifa.IsolationBottom}
+	chanRed := Region{Name: "chan0.buf", Lo: 0x4000, Hi: 0x4001, Colour: red}
+	chanBlack := Region{Name: "chan1.buf", Lo: 0x4010, Hi: 0x4011, Colour: black}
+
+	return []LeakFixture{
+		{
+			// The paper's own hazard: a context switch that forgets R5.
+			Name:   "RegisterLeak",
+			Source: registerLeakSource(0, 1),
+			Spec:   kernelFragmentSpec("RegisterLeak"),
+		},
+		{
+			// Every switch copies an outgoing-partition word into the
+			// incoming partition: the blatant direct flow.
+			Name: "OutputCopy",
+			Source: `
+	.org 0x300
+start:	MOV @0x2000, @0x2010	; outgoing word -> incoming partition
+	HALT
+`,
+			Spec: kernelFragmentSpec("OutputCopy", partRed, partBlack),
+		},
+		{
+			// The scheduling decision reads a word of regime 0's memory:
+			// red data flows into the unclassified scheduling variable.
+			Name: "SchedulerSnoop",
+			Source: fmt.Sprintf(`
+	.org 0x300
+start:	MOV @0x2000, R0		; a word of regime 0's partition
+	AND #1, R0
+	MOV R0, @0x%04x		; ...decides who runs next
+	HALT
+`, kernel.SchedCurrentAddr()),
+			Spec: kernelFragmentSpec("SchedulerSnoop", partRed),
+		},
+		{
+			// A kernel scratch word is mapped into every regime: anything a
+			// regime stores there is readable by all, so the store must be
+			// ⊥-colourable — red data is not.
+			Name: "SharedScratch",
+			Source: fmt.Sprintf(`
+	.org 0x40
+start:	MOV @0x500, @0x%04x	; own data into the shared scratch word
+	HALT
+`, kernel.ScratchAddr()),
+			Spec: Spec{
+				Name:  "leak-SharedScratch",
+				Entry: red,
+				Regions: append([]Region{scratch},
+					Region{Name: "partition", Lo: 0, Hi: 0x1000, Colour: red}),
+				Lattice: ifa.Isolation(leakColours...),
+			},
+		},
+		{
+			// One word of the next regime's partition is mapped into this
+			// one (botched MMU config): an ordinary store lands in it.
+			Name: "PartitionOverlap",
+			Source: `
+	.org 0x40
+start:	MOV @0x500, @0x2010	; own data into the overlap window
+	HALT
+`,
+			Spec: Spec{
+				Name:  "leak-PartitionOverlap",
+				Entry: red,
+				Regions: append([]Region{partBlack},
+					Region{Name: "partition", Lo: 0, Hi: 0x1000, Colour: red}),
+				Lattice: ifa.Isolation(leakColours...),
+			},
+		},
+		{
+			// Every channel shares channel 0's buffer: a red sender's datum
+			// appears in the black pair's buffer object.
+			Name: "ChannelAlias",
+			Source: `
+	.org 0x300
+start:	MOV @0x4000, @0x4010	; chan0 buffer aliased into chan1
+	HALT
+`,
+			Spec: kernelFragmentSpec("ChannelAlias", chanRed, chanBlack),
+		},
+		{
+			// A red device's interrupt is credited to the black regime's
+			// pending word: black's control flow is modulated by red I/O.
+			Name: "InterruptMisroute",
+			Source: fmt.Sprintf(`
+	.org 0x300
+start:	MOV @0x3000, R0		; red device status
+	CMP #0, R0
+	BEQ done
+	MOV #1, @0x%04x		; ...sets black's pending word
+done:	HALT
+`, kernel.SaveBase(1)+kernel.SaveOffPending),
+			Spec: kernelFragmentSpec("InterruptMisroute", devRed),
+		},
+	}
+}
+
+// AnalyzeLeakFixture assembles and analyzes one fixture.
+func AnalyzeLeakFixture(f LeakFixture) (*Report, error) {
+	img, err := asm.Assemble(f.Source)
+	if err != nil {
+		return nil, fmt.Errorf("staticflow: assemble leak %s: %w", f.Name, err)
+	}
+	return Analyze(img, f.Spec)
+}

@@ -1,0 +1,99 @@
+package staticflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/staticflow"
+)
+
+// Every planted leak in kernel.AllLeaks() must have a static fixture and
+// every fixture must be REJECTED — under full precision AND with every
+// precision lever disabled. A leak flipping to CERTIFIED under any
+// combination is a soundness regression.
+func TestLeakFixturesAllRejected(t *testing.T) {
+	fixtures := staticflow.LeakFixtures()
+	byName := map[string]staticflow.LeakFixture{}
+	for _, f := range fixtures {
+		byName[f.Name] = f
+	}
+	for name := range kernel.AllLeaks() {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("kernel leak %s has no static fixture", name)
+		}
+	}
+	if len(fixtures) != len(kernel.AllLeaks()) {
+		t.Errorf("fixtures = %d, kernel leaks = %d", len(fixtures), len(kernel.AllLeaks()))
+	}
+
+	precisions := map[string]staticflow.Precision{
+		"full":          {},
+		"no-vsa":        {NoVSA: true},
+		"no-stackcells": {NoStackCells: true},
+		"no-liveness":   {NoFlagLiveness: true},
+		"coarse":        {NoVSA: true, NoStackCells: true, NoFlagLiveness: true},
+	}
+	for _, f := range fixtures {
+		for pname, p := range precisions {
+			f := f
+			f.Spec.Precision = p
+			rep, err := staticflow.AnalyzeLeakFixture(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f.Name, pname, err)
+			}
+			if rep.Certified() {
+				t.Errorf("%s certified under precision %q — planted leak lost:\n%s",
+					f.Name, pname, rep)
+			}
+		}
+	}
+}
+
+// The RegisterLeak fixture must be caught by the dispatch check
+// specifically: R5 still carries the outgoing regime's colour at HALT.
+func TestRegisterLeakCaughtAtDispatch(t *testing.T) {
+	for _, f := range staticflow.LeakFixtures() {
+		if f.Name != "RegisterLeak" {
+			continue
+		}
+		rep, err := staticflow.AnalyzeLeakFixture(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range rep.Violations {
+			if v.Dst == "register R5 handed to the black regime at dispatch" {
+				found = true
+				if v.From != "red" {
+					t.Errorf("dispatch violation from %s, want red: %s", v.From, v)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no R5 dispatch violation in RegisterLeak fixture:\n%s", rep)
+		}
+		return
+	}
+	t.Fatal("RegisterLeak fixture missing")
+}
+
+// The honest swap must NOT trip the dispatch check: every register is
+// restored from the incoming regime's own save area before the HALT.
+func TestHonestSwapPassesDispatchCheck(t *testing.T) {
+	rep, err := staticflow.AnalyzeKernelSwap([]staticflow.Colour{"red", "black"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		// Register-restore violations are expected; dispatch-check
+		// violations name the incoming regime and must not appear.
+		if strings.Contains(v.Dst, "dispatch") {
+			t.Errorf("honest swap tripped the dispatch check: %s", v)
+		}
+	}
+	if len(rep.Violations) != 7 {
+		t.Errorf("honest swap violations = %d, want 7 (the register restores)",
+			len(rep.Violations))
+	}
+}

@@ -1,0 +1,120 @@
+package staticflow
+
+import "repro/internal/machine"
+
+// Dead condition-code suppression. Most SM11 instructions set the condition
+// codes as a side effect, and the original analyzer flow-checked every one
+// of those writes — which is where 8 of the kernel SWAP's 15 static
+// violations came from: restore-path MOVs set the codes from the incoming
+// regime's save words, and the codes are then overwritten (by the next
+// restore, or by the dispatch itself) before anything reads them. This pass
+// computes, per instruction, whether the condition codes can be *read*
+// after the instruction executes before being redefined; flag writes that
+// are provably dead are still propagated through the fixpoint (so the state
+// stays a sound over-approximation) but are not reported as flows.
+//
+// Readers are the conditional branches, MFPS, and TRAP (the kernel stores
+// the caller's PSW into its save area). Writers are the ALU/MOV family,
+// MTPS and RTI. The analysis is a backwards may-analysis over the CFG:
+//
+//   - a block ending in HALT exits with the codes dead (execution of this
+//     fragment ends; a kernel fragment's dispatch hands the incoming regime
+//     a PSW restored from its own save area, never the live codes);
+//   - a block with no successors for any other reason — unresolved
+//     indirect jump, RTS without recorded return sites — exits live: the
+//     continuation is unknown, so the codes must be assumed observable;
+//   - programs that install interrupt handlers get no suppression at all:
+//     interrupt delivery pushes the live PSW onto the stack between any
+//     two instructions, so the codes are always observable.
+
+// flagReads reports whether executing in observes the condition codes.
+func flagReads(op Word) bool {
+	if machine.IsBranch(op) && op != machine.OpBR {
+		return true
+	}
+	return op == machine.OpMFPS || op == machine.OpTRAP
+}
+
+// flagWrites reports whether executing in redefines the condition codes.
+func flagWrites(op Word) bool {
+	switch op {
+	case machine.OpMOV, machine.OpADD, machine.OpSUB, machine.OpCMP,
+		machine.OpAND, machine.OpOR, machine.OpXOR, machine.OpSHL,
+		machine.OpSHR, machine.OpMUL, machine.OpNOT, machine.OpNEG,
+		machine.OpMTPS, machine.OpRTI:
+		return true
+	}
+	return false
+}
+
+// flagsLiveAfter computes, for each instruction address, whether the
+// condition codes may be read after that instruction executes and before
+// they are redefined. A nil map means "assume live everywhere" (handler
+// programs, or the lever disabled).
+func flagsLiveAfter(g *CFG) map[Word]bool {
+	if len(g.IRQRoots) > 0 {
+		return nil
+	}
+	n := len(g.Blocks)
+	liveIn := make([]bool, n)
+
+	// blockLiveIn recomputes one block's entry liveness from its exit
+	// liveness by scanning the instructions backwards.
+	blockLiveIn := func(b *Block, live bool) bool {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			op := b.Instrs[i].Op
+			if flagReads(op) {
+				live = true
+			} else if flagWrites(op) {
+				live = false
+			}
+		}
+		return live
+	}
+	liveOut := func(b *Block) bool {
+		if len(b.Succs) == 0 {
+			// HALT ends the fragment with the codes unobservable; any
+			// other dead end means the continuation is unknown.
+			last := b.Instrs[len(b.Instrs)-1].Op
+			return last != machine.OpHALT
+		}
+		for _, e := range b.Succs {
+			if liveIn[e.To] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Backwards fixpoint; liveness only rises, so n+8 sweeps suffice (and
+	// bound fuzzer-shaped graphs).
+	for sweep := 0; sweep < n+8; sweep++ {
+		changed := false
+		for bi := n - 1; bi >= 0; bi-- {
+			if l := blockLiveIn(g.Blocks[bi], liveOut(g.Blocks[bi])); l != liveIn[bi] {
+				liveIn[bi] = l
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Final sweep records per-instruction "live after this point".
+	out := make(map[Word]bool, g.NumInstrs())
+	for _, b := range g.Blocks {
+		live := liveOut(b)
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			out[in.Addr] = out[in.Addr] || live
+			op := in.Op
+			if flagReads(op) {
+				live = true
+			} else if flagWrites(op) {
+				live = false
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package staticflow
+
+// Frame-offset stack cells. The original analyzer folded the entire stack
+// into one summary location (locStack): every PUSH joined its colour in,
+// every POP read the join — so a push/pop pair of one colour poisoned every
+// later pop of another. This file splits the stack into SP-relative cells:
+// the state carries a stack of (colour, witness) cells maintained through
+// PUSH/POP/JSR/RTS, giving pops the exact colour pushed at that depth.
+//
+// The cells are an overlay, not a replacement: the locStack summary is
+// still maintained as the join of everything pushed, and the analyzer
+// collapses back onto it — soundly — the moment it can no longer prove the
+// cell/SP correspondence:
+//
+//   - an explicit write to SP (MOV #x, SP; ADD #n, SP ...) of any kind;
+//   - a store through a run-time address (it may alias the stack);
+//   - an RTI (pops a frame the analyzer did not see pushed);
+//   - joining two states whose tracked depths differ;
+//   - stack depth past stackCellCap;
+//   - any program that installs interrupt handlers (delivery pushes a
+//     PSW/PC frame between any two instructions).
+//
+// After collapse, PUSH/POP behave exactly as before: the summary location
+// takes the joins, and precision is lost but never soundness.
+
+// stackCellCap bounds the tracked depth; deeper stacks collapse.
+const stackCellCap = 64
+
+// stackCell is one tracked stack slot.
+type stackCell struct {
+	col Colour
+	wit witness
+}
+
+// stackLose abandons the tracked cells; the locStack summary (which has
+// absorbed every pushed colour all along) takes over.
+func (s *state) stackLose() {
+	s.stkLost = true
+	s.stk = nil
+}
+
+// stackTracked reports whether precise cells are in effect.
+func (s *state) stackTracked() bool { return !s.stkLost && !s.stkVirgin }
+
+// stackPush appends a cell, collapsing at the cap.
+func (s *state) stackPush(c stackCell) {
+	if !s.stackTracked() {
+		return
+	}
+	if len(s.stk) >= stackCellCap {
+		s.stackLose()
+		return
+	}
+	s.stk = append(append([]stackCell{}, s.stk...), c)
+}
+
+// stackPop removes and returns the top cell; ok is false when the cells are
+// collapsed or the tracked stack is empty (an underflowing pop reads memory
+// the program never pushed — the summary handles it).
+func (s *state) stackPop() (stackCell, bool) {
+	if !s.stackTracked() || len(s.stk) == 0 {
+		return stackCell{}, false
+	}
+	c := s.stk[len(s.stk)-1]
+	s.stk = s.stk[:len(s.stk)-1]
+	return c, true
+}
+
+// joinStacks merges src's stack into dst, returning whether dst changed.
+// Virgin states (never reached by any predecessor) adopt the other side's
+// stack verbatim; mismatched depths collapse both.
+func (a *analysis) joinStacks(dst, src *state) bool {
+	if src.stkVirgin {
+		return false
+	}
+	if dst.stkVirgin {
+		dst.stkVirgin = false
+		dst.stkLost = src.stkLost
+		dst.stk = append([]stackCell{}, src.stk...)
+		return true
+	}
+	if dst.stkLost {
+		return false
+	}
+	if src.stkLost || len(dst.stk) != len(src.stk) {
+		dst.stackLose()
+		return true
+	}
+	changed := false
+	for i := range dst.stk {
+		j := a.lat.Lub(dst.stk[i].col, src.stk[i].col)
+		if j != dst.stk[i].col {
+			dst.stk[i].col = j
+			dst.stk[i].wit = src.stk[i].wit
+			changed = true
+		}
+	}
+	return changed
+}
+
+// equalStacks compares the stack components of two states.
+func equalStacks(x, y *state) bool {
+	if x.stkVirgin != y.stkVirgin || x.stkLost != y.stkLost || len(x.stk) != len(y.stk) {
+		return false
+	}
+	for i := range x.stk {
+		if x.stk[i].col != y.stk[i].col {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package staticflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/staticflow"
+)
+
+// The frame-offset stack cell tests: each exercises one rule of the
+// tracked-stack abstraction through full Analyze runs, with the coarse
+// configuration as the contrast. The censor memory map (CensorSpec) is
+// reused so HIGH/LOW have a fixed meaning: header 0x500 HIGH, state 0x600
+// and out 0x700 LOW.
+
+func censorAnalyze(t *testing.T, name, src string, coarse bool) *staticflow.Report {
+	t.Helper()
+	spec := staticflow.CensorSpec(name)
+	if coarse {
+		spec.Precision.NoStackCells = true
+	}
+	return analyze(t, src, spec)
+}
+
+// An interleaved PUSH/PUSH/POP/POP where the colours differ per depth:
+// cells keep them apart, the summary conflates them.
+func TestStackCellsSeparateDepths(t *testing.T) {
+	src := `
+	.org 0x40
+start:	MOV @0x500, R1		; HIGH
+	PUSH R1
+	MOV @0x600, R2		; LOW
+	PUSH R2
+	POP @0x700		; the LOW cell -> LOW out
+	POP @0x50f		; the HIGH cell -> HIGH slot
+	HALT
+`
+	if rep := censorAnalyze(t, "cells-depths", src, false); !rep.Certified() {
+		t.Errorf("tracked stack rejected the balanced interleave:\n%s", rep)
+	}
+	if rep := censorAnalyze(t, "cells-depths", src, true); rep.Certified() {
+		t.Error("coarse summary certified the interleave — contrast lost")
+	}
+}
+
+// Writing SP directly retargets the stack: every tracked cell is invalid,
+// and later pops must fall back to the joined summary.
+func TestStackCollapseOnSPWrite(t *testing.T) {
+	src := `
+	.org 0x40
+start:	MOV @0x500, R1		; HIGH
+	PUSH R1
+	MOV #0x7f0, SP		; retarget the stack: cells are meaningless
+	PUSH R2
+	POP @0x700		; summary pop: HIGH joined in -> violation
+	HALT
+`
+	rep := censorAnalyze(t, "cells-sp-write", src, false)
+	if rep.Certified() {
+		t.Fatalf("SP write did not collapse the tracked stack:\n%s", rep)
+	}
+}
+
+// An indirect store could land anywhere — including the stack — so it must
+// collapse the cells too.
+func TestStackCollapseOnIndirectStore(t *testing.T) {
+	src := `
+	.org 0x40
+start:	MOV @0x500, R1		; HIGH
+	PUSH R1
+	MOV #0x600, R3
+	MOV R2, (R3)		; indirect store: may alias the stack
+	PUSH R2
+	POP @0x700		; must use the summary -> violation
+	POP @0x50f
+	HALT
+`
+	rep := censorAnalyze(t, "cells-indirect", src, false)
+	if rep.Certified() {
+		t.Fatalf("indirect store did not collapse the tracked stack:\n%s", rep)
+	}
+}
+
+// Two arms that push different depths force a sound collapse at the join.
+func TestStackDepthMismatchJoin(t *testing.T) {
+	src := `
+	.org 0x40
+start:	MOV @0x500, R1		; HIGH
+	PUSH R1
+	MOV @0x600, R2		; LOW
+	CMP #0, R2
+	BEQ skip
+	PUSH R2			; one arm pushes, the other does not
+skip:	POP @0x700		; depths disagree: summary pop -> violation
+	HALT
+`
+	rep := censorAnalyze(t, "cells-depth-mismatch", src, false)
+	if rep.Certified() {
+		t.Fatalf("depth-mismatched join did not collapse the stack:\n%s", rep)
+	}
+}
+
+// JSR/RTS are balanced on the tracked stack: a call between a push and its
+// pop must not disturb the cell.
+func TestStackCellsSurviveCall(t *testing.T) {
+	src := `
+	.org 0x40
+start:	MOV @0x500, R1		; HIGH
+	PUSH R1
+	MOV @0x600, R2		; LOW
+	PUSH R2
+	JSR bump		; balanced call between push and pop
+	POP @0x700		; still the LOW cell
+	POP @0x50f		; still the HIGH cell
+	HALT
+bump:	ADD #1, R2
+	RTS
+`
+	rep := censorAnalyze(t, "cells-call", src, false)
+	if rep.Certified() {
+		return
+	}
+	// A JSR also breaks the ROM closure for VSA — make the failure mode
+	// readable if the balance ever regresses.
+	var lines []string
+	for _, v := range rep.Violations {
+		lines = append(lines, v.String())
+	}
+	t.Errorf("balanced JSR/RTS disturbed the tracked cells:\n%s", strings.Join(lines, "\n"))
+}

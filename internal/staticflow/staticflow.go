@@ -63,6 +63,24 @@ type Region struct {
 // Contains reports whether the region covers address a.
 func (r *Region) Contains(a Word) bool { return a >= r.Lo && a < r.Hi }
 
+// Precision switches off individual precision levers, restoring the
+// analyzer's original coarse behaviour. All levers default to on; the
+// toggles exist for the differential tests that prove the precise analyzer
+// never certifies a program the coarse one rejected for a real reason, and
+// for bisecting which lever a verdict change came from.
+type Precision struct {
+	// NoVSA disables value-set resolution of indirect JMP/JSR: every
+	// indirect site keeps the unresolved note and top-colour treatment.
+	NoVSA bool
+	// NoStackCells disables frame-offset stack cells: PUSH/POP/JSR/RTS all
+	// flow through the single joined stack summary location.
+	NoStackCells bool
+	// NoFlagLiveness disables dead-condition-code suppression: every
+	// flag-setting instruction is flow-checked even when the codes are
+	// provably overwritten before any use.
+	NoFlagLiveness bool
+}
+
 // Spec classifies an analysis subject: the colour of the executing context
 // (which classifies the register file and condition codes), the coloured
 // memory regions, and how channel endpoints behave.
@@ -85,6 +103,15 @@ type Spec struct {
 	// Lattice defaults to ifa.Isolation over every colour mentioned in the
 	// spec.
 	Lattice ifa.Lattice
+	// DispatchColour, when set, marks the program as a kernel fragment that
+	// ends by dispatching the named regime: at each HALT the general
+	// registers are flow-checked against this colour, since the hardware
+	// hands them to that regime's code. This is how a skipped restore in a
+	// context switch (a register still carrying the outgoing regime's data)
+	// becomes a reported flow.
+	DispatchColour Colour
+	// Precision selectively disables precision levers (tests only).
+	Precision Precision
 }
 
 // lattice returns the spec's lattice, building the default isolation
@@ -106,6 +133,9 @@ func (s *Spec) lattice() ifa.Lattice {
 	}
 	for _, p := range s.Peers {
 		add(p)
+	}
+	if s.DispatchColour != "" {
+		add(s.DispatchColour)
 	}
 	return ifa.Isolation(atoms...)
 }

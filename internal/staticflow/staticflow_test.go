@@ -67,8 +67,9 @@ func TestExplicitFlowRejected(t *testing.T) {
 
 func TestSameColourMoveCertified(t *testing.T) {
 	// A black regime shuffling black words stays certified. (A *red* regime
-	// doing the same move is rejected — MOV sets the condition codes, which
-	// belong to the executing context — so the entry colour must be black.)
+	// doing the same move ahead of a conditional branch is rejected — MOV
+	// sets the condition codes, which belong to the executing context — so
+	// the entry colour must be black; see TestFlagResidueRejected.)
 	spec := staticflow.Spec{
 		Name:  "samecolour",
 		Entry: "black",
@@ -88,19 +89,43 @@ func TestSameColourMoveCertified(t *testing.T) {
 }
 
 func TestFlagResidueRejected(t *testing.T) {
-	// The dual of the test above: the same move performed by a red regime
-	// is rejected purely because MOV leaves the black word's residue in the
-	// condition codes.
-	rep := analyze(t, `
+	// The same move performed by a red regime leaves the black word's
+	// residue in the condition codes. Whether that is a flow depends on
+	// liveness: followed by a conditional branch the codes are read, so the
+	// residue is rejected; followed only by HALT the codes are provably
+	// dead and the precise analyzer certifies what the coarse one flagged.
+	live := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, @0x508
+		BEQ start
+		HALT
+	`, twoColour("flagresidue-live"))
+	if live.Certified() {
+		t.Fatalf("live flag residue not flagged:\n%s", live)
+	}
+	if got := live.Violations[0].Dst; got != "condition codes" {
+		t.Errorf("violation dst = %q, want condition codes", got)
+	}
+
+	dead := analyze(t, `
 		.org 0x40
 	start:	MOV @0x500, @0x508
 		HALT
-	`, twoColour("flagresidue"))
-	if rep.Certified() {
-		t.Fatalf("flag residue not flagged:\n%s", rep)
+	`, twoColour("flagresidue-dead"))
+	if !dead.Certified() {
+		t.Fatalf("dead flag residue still flagged:\n%s", dead)
 	}
-	if got := rep.Violations[0].Dst; got != "condition codes" {
-		t.Errorf("violation dst = %q, want condition codes", got)
+
+	// The coarse analyzer (liveness lever off) keeps the original verdict.
+	spec := twoColour("flagresidue-coarse")
+	spec.Precision.NoFlagLiveness = true
+	coarse := analyze(t, `
+		.org 0x40
+	start:	MOV @0x500, @0x508
+		HALT
+	`, spec)
+	if coarse.Certified() {
+		t.Fatalf("coarse analyzer lost the flag-residue rejection:\n%s", coarse)
 	}
 }
 

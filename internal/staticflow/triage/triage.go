@@ -1,0 +1,174 @@
+// Package triage reconciles the static analyzer's residual flows with the
+// dynamic Proof-of-Separability evidence. The paper's §4 point is that a
+// syntactic analyzer over-rejects: some residual flows are real channels,
+// most are artifacts of the abstraction. Triage makes that distinction
+// operational — each residual flow is mapped to the separability conditions
+// and Φ-encoding location that would witness it dynamically, the witness
+// store (internal/witness) is queried for a matching counterexample, and
+// the flow is classified:
+//
+//   - CONFIRMED: a captured counterexample disagrees exactly where the
+//     static flow lands — the flow is dynamically realizable (in the
+//     deployment the store was captured from);
+//   - SPURIOUS: no witness matches AND a dynamic separability check of the
+//     analyzed system passed — the flow is an artifact of syntactic
+//     certification, the §4 false positive made explicit;
+//   - UNDECIDED: no witness and no clean pass — no dynamic evidence either
+//     way.
+package triage
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/separability"
+	"repro/internal/staticflow"
+	"repro/internal/witness"
+)
+
+// Class is a triage verdict for one residual flow.
+type Class string
+
+// The three verdicts.
+const (
+	Confirmed Class = "CONFIRMED"
+	Spurious  Class = "SPURIOUS"
+	Undecided Class = "UNDECIDED"
+)
+
+// Finding is one classified residual flow.
+type Finding struct {
+	// Flow is the static violation being triaged.
+	Flow staticflow.Flow
+	// Location is the Φ-encoding field the flow lands in ("r5", "mem",
+	// "ch"), used to match witness digests; empty when the destination has
+	// no Φ rendering.
+	Location string
+	// Conditions are the separability conditions whose violation would
+	// dynamically witness this flow.
+	Conditions []separability.Condition
+	Class      Class
+	// Evidence names the deciding artifact: the witness, or the clean
+	// dynamic pass.
+	Evidence string
+}
+
+// Options configures Classify.
+type Options struct {
+	// Witnesses is the loaded witness store (see witness.Load); nil or
+	// empty means no captured counterexamples.
+	Witnesses []*witness.Witness
+	// CleanPass records that a dynamic separability check of the analyzed
+	// system passed: unmatched flows become SPURIOUS instead of UNDECIDED.
+	CleanPass bool
+	// CleanNote describes the passing check for the evidence column
+	// (defaulted when empty).
+	CleanNote string
+}
+
+var registerDst = regexp.MustCompile(`register R([0-5])`)
+
+// locate maps a static flow to the Φ-encoding field it pollutes and the
+// separability conditions that would expose it.
+func locate(f staticflow.Flow) (string, []separability.Condition) {
+	// Channel flows are observable through EXTRACT/OUTPUT: conditions 5/6.
+	if f.Kind == staticflow.FlowChannel || strings.Contains(f.Dst, "channel") {
+		return "ch", []separability.Condition{
+			separability.Condition5, separability.Condition6,
+		}
+	}
+	// State stores perturb Φ^c: the congruence conditions (and the
+	// scheduling extension, which also compares abstract state).
+	congruence := []separability.Condition{
+		separability.ConditionMeta, separability.Condition1,
+		separability.Condition2, separability.Condition3,
+		separability.Condition4, separability.ConditionSched,
+	}
+	if m := registerDst.FindStringSubmatch(f.Dst); m != nil {
+		return "r" + m[1], congruence
+	}
+	if strings.HasPrefix(f.Dst, "mem[") {
+		return "mem", congruence
+	}
+	if strings.Contains(f.Dst, "flags") || strings.Contains(f.Dst, "condition codes") {
+		return "cc", congruence
+	}
+	return "", congruence
+}
+
+// Classify triages every violation in the report. The result preserves the
+// report's (deterministic) violation order.
+func Classify(rep *staticflow.Report, opt Options) []Finding {
+	findings := make([]Finding, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		loc, conds := locate(v)
+		f := Finding{Flow: v, Location: loc, Conditions: conds}
+		var hit *witness.Witness
+		if loc != "" {
+			q := witness.Query{Conditions: conds, Field: loc}
+			if ws := witness.Find(opt.Witnesses, q); len(ws) > 0 {
+				hit = ws[0]
+			}
+		}
+		switch {
+		case hit != nil:
+			f.Class = Confirmed
+			f.Evidence = fmt.Sprintf("witness %s (%s, colour %q, leak %q)",
+				hit.ID, separability.Condition(hit.Condition), hit.Colour,
+				hit.System.Leak)
+		case opt.CleanPass:
+			f.Class = Spurious
+			f.Evidence = opt.CleanNote
+			if f.Evidence == "" {
+				f.Evidence = "proof of separability passed"
+			}
+		default:
+			f.Class = Undecided
+			f.Evidence = "no matching witness; no clean dynamic pass"
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// Count tallies the findings per class.
+func Count(fs []Finding) map[Class]int {
+	m := map[Class]int{}
+	for _, f := range fs {
+		m[f.Class]++
+	}
+	return m
+}
+
+// Summary renders the one-line tally, with the classification rate the
+// acceptance gate watches (UNDECIDED = unclassified).
+func Summary(fs []Finding) string {
+	c := Count(fs)
+	classified := len(fs) - c[Undecided]
+	pct := 100
+	if len(fs) > 0 {
+		pct = classified * 100 / len(fs)
+	}
+	return fmt.Sprintf("%d residual flows: %d CONFIRMED, %d SPURIOUS, %d UNDECIDED (%d%% classified)",
+		len(fs), c[Confirmed], c[Spurious], c[Undecided], pct)
+}
+
+// Table renders the classified findings deterministically (golden-tested
+// by cmd/sepflow).
+func Table(fs []Finding) string {
+	var b strings.Builder
+	b.WriteString("residual flow triage (static flows vs dynamic evidence):\n")
+	fmt.Fprintf(&b, "  %-5s %-9s %-24s %-10s %s\n",
+		"addr", "location", "destination", "class", "evidence")
+	for _, f := range fs {
+		loc := f.Location
+		if loc == "" {
+			loc = "-"
+		}
+		fmt.Fprintf(&b, "  %04x  %-9s %-24s %-10s %s\n",
+			f.Flow.Addr, loc, f.Flow.Dst, f.Class, f.Evidence)
+	}
+	b.WriteString("  " + Summary(fs) + "\n")
+	return b.String()
+}

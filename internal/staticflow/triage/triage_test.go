@@ -1,0 +1,172 @@
+package triage_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/separability"
+	"repro/internal/staticflow"
+	"repro/internal/staticflow/triage"
+	"repro/internal/verifysys"
+	"repro/internal/witness"
+)
+
+func swapReport(t *testing.T) *staticflow.Report {
+	t.Helper()
+	rep, err := staticflow.AnalyzeKernelSwap([]staticflow.Colour{"red", "black"}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 7 {
+		t.Fatalf("SWAP violations = %d, want 7", len(rep.Violations))
+	}
+	return rep
+}
+
+// r5Witness fabricates a RegisterLeak-shaped counterexample: Φ^c first
+// differs inside the r5 field.
+func r5Witness(cond separability.Condition) *witness.Witness {
+	phi := "r0=0001;r1=0002;r2=0003;r3=0004;r4=0005;r5=1111;sp=0100;"
+	other := strings.Replace(phi, "r5=1111", "r5=2222", 1)
+	return &witness.Witness{
+		ID:        "deadbeefdeadbeef",
+		System:    witness.SystemSpec{Kind: "verifysys", Leak: "RegisterLeak", Cut: true},
+		Condition: int(cond),
+		Colour:    "peer",
+		Detail: fmt.Sprintf("first difference at byte 43: %q vs %q",
+			phi[19:], other[19:]),
+	}
+}
+
+// The acceptance gate: on the golden (honest) kernel, with the dynamic
+// check passed, every residual SWAP flow classifies — no UNDECIDED.
+func TestHonestSwapAllSpurious(t *testing.T) {
+	rep := swapReport(t)
+	fs := triage.Classify(rep, triage.Options{
+		CleanPass: true, CleanNote: "proof of separability passed (seed 99)",
+	})
+	if len(fs) != 7 {
+		t.Fatalf("findings = %d, want 7", len(fs))
+	}
+	c := triage.Count(fs)
+	if c[triage.Spurious] != 7 || c[triage.Undecided] != 0 || c[triage.Confirmed] != 0 {
+		t.Errorf("classes = %v, want 7 SPURIOUS", c)
+	}
+	if s := triage.Summary(fs); !strings.Contains(s, "100% classified") {
+		t.Errorf("summary %q lacks the 100%% classification rate", s)
+	}
+}
+
+// A RegisterLeak witness confirms exactly the R5 restore; the clean pass
+// dismisses the rest.
+func TestRegisterLeakWitnessConfirmsR5(t *testing.T) {
+	rep := swapReport(t)
+	fs := triage.Classify(rep, triage.Options{
+		Witnesses: []*witness.Witness{r5Witness(separability.Condition1)},
+		CleanPass: true,
+	})
+	for _, f := range fs {
+		want := triage.Spurious
+		if f.Location == "r5" {
+			want = triage.Confirmed
+		}
+		if f.Class != want {
+			t.Errorf("%s (%04x): class %s, want %s", f.Location, f.Flow.Addr, f.Class, want)
+		}
+		if f.Class == triage.Confirmed && !strings.Contains(f.Evidence, "deadbeefdeadbeef") {
+			t.Errorf("confirmed finding does not name its witness: %s", f.Evidence)
+		}
+	}
+}
+
+// An I/O-condition witness must NOT confirm a register flow: the condition
+// set gates the match.
+func TestConditionSetGatesMatching(t *testing.T) {
+	rep := swapReport(t)
+	fs := triage.Classify(rep, triage.Options{
+		Witnesses: []*witness.Witness{r5Witness(separability.Condition5)},
+	})
+	for _, f := range fs {
+		if f.Class != triage.Undecided {
+			t.Errorf("%s: class %s, want UNDECIDED (condition 5 is not a state-congruence witness)",
+				f.Location, f.Class)
+		}
+	}
+}
+
+// Without witnesses or a clean pass there is no evidence either way.
+func TestNoEvidenceIsUndecided(t *testing.T) {
+	fs := triage.Classify(swapReport(t), triage.Options{})
+	for _, f := range fs {
+		if f.Class != triage.Undecided {
+			t.Errorf("%s: class %s, want UNDECIDED", f.Location, f.Class)
+		}
+	}
+	if s := triage.Summary(fs); !strings.Contains(s, "0% classified") {
+		t.Errorf("summary %q should report 0%% classified", s)
+	}
+}
+
+// Channel endpoint flows map to the I/O conditions and the ch location.
+func TestChannelFlowLocation(t *testing.T) {
+	rep := &staticflow.Report{Violations: []staticflow.Flow{{
+		Kind: staticflow.FlowStore, Addr: 0x100,
+		From: "red", To: "⊥", Dst: "uncut channel import",
+	}}}
+	fs := triage.Classify(rep, triage.Options{})
+	if fs[0].Location != "ch" {
+		t.Errorf("channel flow location = %q, want ch", fs[0].Location)
+	}
+	want := []separability.Condition{separability.Condition5, separability.Condition6}
+	if len(fs[0].Conditions) != 2 || fs[0].Conditions[0] != want[0] || fs[0].Conditions[1] != want[1] {
+		t.Errorf("channel flow conditions = %v, want %v", fs[0].Conditions, want)
+	}
+}
+
+// End to end against a real store: capture RegisterLeak counterexamples
+// with the actual checker, then triage the honest SWAP's residual flows
+// against them — the R5 restore is the one the leak build realizes.
+func TestTriageAgainstCapturedStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capture is slow in -short mode")
+	}
+	spec := verifysys.SpecFor("RegisterLeak", true, false)
+	sys, err := verifysys.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copt := separability.Options{Trials: 10, StepsPerTrial: 100, Seed: 99,
+		CheckScheduling: true}
+	res := separability.CheckRandomized(sys, copt)
+	if res.Passed() {
+		t.Fatal("RegisterLeak not caught; no witnesses to triage against")
+	}
+	ws, err := witness.Capture(sys, copt, res, witness.Options{System: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := triage.Classify(swapReport(t), triage.Options{
+		Witnesses: ws, CleanPass: true, CleanNote: "honest kernel passed",
+	})
+	c := triage.Count(fs)
+	if c[triage.Undecided] != 0 {
+		t.Errorf("classes = %v: residual flows left UNDECIDED with a full store", c)
+	}
+	var confirmedR5 bool
+	for _, f := range fs {
+		if f.Location == "r5" && f.Class == triage.Confirmed {
+			confirmedR5 = true
+		}
+	}
+	if !confirmedR5 {
+		var lines []string
+		for _, w := range ws {
+			lines = append(lines, fmt.Sprintf("%s cond=%d colour=%s field=%q",
+				w.ID, w.Condition, w.Colour, w.Field()))
+		}
+		t.Errorf("R5 restore not confirmed by the RegisterLeak store:\n%s\n%s",
+			strings.Join(lines, "\n"), triage.Table(fs))
+	}
+}

@@ -1,0 +1,145 @@
+package staticflow_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/machine"
+	"repro/internal/staticflow"
+)
+
+// vsaFuzzSeed assembles a source program into the fuzzer's byte encoding
+// (LE org followed by LE image words).
+func vsaFuzzSeed(f *testing.F, src string) {
+	f.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		f.Fatalf("seed assemble: %v", err)
+	}
+	buf := make([]byte, 2+2*len(img.Words))
+	binary.LittleEndian.PutUint16(buf, uint16(img.Org))
+	for i, w := range img.Words {
+		binary.LittleEndian.PutUint16(buf[2+2*i:], uint16(w))
+	}
+	f.Add(buf)
+}
+
+// FuzzVSAResolve is the soundness oracle for the indirect-jump resolver:
+// whatever the value-set analysis claims about a site's targets, the real
+// interpreter must agree. Each resolved site's observed jump targets —
+// swept over several initial memory fills and register values, since VSA
+// assumes nothing about either — must be a subset of the resolved target
+// set. A target taken at a resolved site that is missing from the set
+// means the analyzer wired a CFG edge that hides real control flow: a
+// soundness bug, not a precision one.
+func FuzzVSAResolve(f *testing.F) {
+	// The canonical bounded table dispatch.
+	vsaFuzzSeed(f, `
+	.org 0x40
+start:	MOV @0x500, R1
+	AND #1, R1
+	MOV tab(R1), R2
+	JMP (R2)
+a:	MOV #1, @0x200
+	HALT
+b:	MOV #2, @0x201
+	HALT
+tab:	.word a
+	.word b
+`)
+	// Register-constant jump, no table.
+	vsaFuzzSeed(f, `
+	.org 0x40
+start:	MOV #done, R2
+	JMP (R2)
+done:	HALT
+`)
+	// Indexed jump: JMP disp(Rn) computes PC without a memory read.
+	vsaFuzzSeed(f, `
+	.org 0x40
+start:	MOV #0, R3
+	AND #1, R3
+	JMP hops(R3)
+hops:	HALT
+	HALT
+`)
+	// Unresolvable: the selector is unbounded.
+	vsaFuzzSeed(f, `
+	.org 0x40
+start:	MOV @0x500, R1
+	MOV tab(R1), R2
+	JMP (R2)
+a:	HALT
+tab:	.word a
+`)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 || len(data) > 1024 {
+			return
+		}
+		org := staticflow.Word(binary.LittleEndian.Uint16(data))
+		words := make([]staticflow.Word, 0, (len(data)-2)/2)
+		for i := 2; i+1 < len(data); i += 2 {
+			words = append(words, staticflow.Word(binary.LittleEndian.Uint16(data[i:])))
+		}
+		if len(words) == 0 {
+			return
+		}
+		img := &asm.Image{Org: org, Words: words}
+		g, err := staticflow.BuildCFG(img)
+		if err != nil || len(g.Resolved) == 0 {
+			return
+		}
+		inTargets := func(site, to staticflow.Word) bool {
+			for _, tgt := range g.Resolved[site] {
+				if tgt == to {
+					return true
+				}
+			}
+			return false
+		}
+
+		for variant := 0; variant < 4; variant++ {
+			m := machine.New(0) // default: kernel mode, interrupts masked
+			ram := staticflow.Word(m.RAMWords())
+			if org >= ram || int(org)+len(words) > m.RAMWords() {
+				return
+			}
+			// VSA assumed nothing about memory outside the image or about
+			// initial register values: sweep both.
+			fill := staticflow.Word(0x1111 * (variant + 1))
+			for a := staticflow.Word(0); a < ram; a++ {
+				m.WritePhys(a, fill^a)
+			}
+			if err := m.LoadImage(org, words); err != nil {
+				return
+			}
+			for r := 0; r < 6; r++ {
+				m.SetReg(r, fill+staticflow.Word(r))
+			}
+			m.SetPC(org)
+			if s, ok := img.Symbol("start"); ok {
+				m.SetPC(s)
+			}
+			for step := 0; step < 512 && !m.Halted(); step++ {
+				pc := m.PC()
+				if pc < org || pc >= org+staticflow.Word(len(words)) {
+					break // left the image: undecoded territory
+				}
+				op := machine.DecodeOp(m.ReadPhys(pc))
+				if op == machine.OpTRAP || op == machine.OpWAIT ||
+					op == machine.OpMTPS || op > machine.OpMUL {
+					// Raw execution diverges from the static model here
+					// (kernel semantics, PSW rewrite, illegal-op trap).
+					break
+				}
+				_, site := g.Resolved[pc]
+				m.Step()
+				if site && !inTargets(pc, m.PC()) {
+					t.Fatalf("site %04x: interpreter went to %04x, resolved set %v (variant %d)",
+						pc, m.PC(), g.Resolved[pc], variant)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package staticflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/staticflow"
+)
+
+// tableDispatchSource is the canonical VSA target: a runtime selector,
+// masked to a bounded range, indexes a constant table of handler addresses.
+const tableDispatchSource = `
+	.org 0x40
+start:	MOV @0x500, R1		; runtime selector
+	AND #1, R1		; bounded: {0,1}
+	MOV tab(R1), R2		; constant table load
+	JMP (R2)
+a:	MOV #1, @0x200
+	HALT
+b:	MOV #2, @0x201
+	HALT
+tab:	.word a
+	.word b
+`
+
+func TestVSAResolvesTableDispatch(t *testing.T) {
+	img := assemble(t, tableDispatchSource)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr, _ := img.Symbol("a")
+	bAddr, _ := img.Symbol("b")
+	if len(g.Resolved) != 1 {
+		t.Fatalf("resolved sites = %d, want 1 (notes: %v)", len(g.Resolved), g.Notes)
+	}
+	for site, targets := range g.Resolved {
+		if len(targets) != 2 || targets[0] != aAddr || targets[1] != bAddr {
+			t.Errorf("site %04x resolved to %v, want [%04x %04x]", site, targets, aAddr, bAddr)
+		}
+	}
+	// Both handlers must be real CFG blocks reachable through jump edges.
+	found := 0
+	for _, blk := range g.Blocks {
+		if blk.Addr == aAddr || blk.Addr == bAddr {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("handler blocks found = %d, want 2", found)
+	}
+	// The note must say resolved, with the table size, and there must be no
+	// unresolved note left for the site.
+	var resolvedNote, unresolvedNote bool
+	for _, n := range g.Notes {
+		if strings.Contains(n, "resolved by value-set analysis (2 targets)") {
+			resolvedNote = true
+		}
+		if strings.Contains(n, "unresolved indirect JMP") {
+			unresolvedNote = true
+		}
+	}
+	if !resolvedNote {
+		t.Errorf("no resolution note in %v", g.Notes)
+	}
+	if unresolvedNote {
+		t.Errorf("stale unresolved note in %v", g.Notes)
+	}
+}
+
+func TestVSAResolutionSharpensVerdict(t *testing.T) {
+	// With the dispatch resolved, the analyzer sees both handlers store
+	// constants into the red partition: certified. With VSA off, the JMP
+	// target is unknown — the handlers are still scanned (reachability
+	// decodes them as straight-line code), but the unresolved note stands.
+	spec := staticflow.ProgramSpec("dispatch", "red", nil, 0x1000)
+	rep := analyze(t, tableDispatchSource, spec)
+	if !rep.Certified() {
+		t.Fatalf("resolved dispatch rejected:\n%s", rep)
+	}
+
+	coarse := spec
+	coarse.Precision.NoVSA = true
+	crep := analyze(t, tableDispatchSource, coarse)
+	var sawUnresolved bool
+	for _, n := range crep.Notes {
+		if strings.Contains(n, "unresolved indirect JMP") {
+			sawUnresolved = true
+		}
+	}
+	if !sawUnresolved {
+		t.Errorf("NoVSA run lost the unresolved note: %v", crep.Notes)
+	}
+}
+
+func TestVSAUnboundedSelectorStaysUnresolved(t *testing.T) {
+	// No mask: the selector can be anything, the set blows the cap, and the
+	// site soundly stays unresolved.
+	img := assemble(t, `
+	.org 0x40
+start:	MOV @0x500, R1
+	MOV tab(R1), R2
+	JMP (R2)
+a:	HALT
+tab:	.word a
+`)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Resolved) != 0 {
+		t.Errorf("unbounded selector resolved: %v", g.Resolved)
+	}
+	var sawUnresolved bool
+	for _, n := range g.Notes {
+		if strings.Contains(n, "unresolved indirect JMP") {
+			sawUnresolved = true
+		}
+	}
+	if !sawUnresolved {
+		t.Errorf("no unresolved note in %v", g.Notes)
+	}
+}
+
+func TestVSASelfModifyingImageNotROM(t *testing.T) {
+	// A store into the image (here: over the table itself) must kill the
+	// ROM assumption, so the table load yields ⊤ and nothing resolves.
+	img := assemble(t, `
+	.org 0x40
+start:	MOV #0x200, @tab	; the image is not ROM
+	MOV @0x500, R1
+	AND #1, R1
+	MOV tab(R1), R2
+	JMP (R2)
+a:	HALT
+b:	HALT
+tab:	.word a
+	.word b
+`)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Resolved) != 0 {
+		t.Errorf("self-modifying image still resolved: %v", g.Resolved)
+	}
+}
+
+func TestVSAIRQHandlersDisableResolution(t *testing.T) {
+	// An installed interrupt handler can rewrite registers between any two
+	// instructions: no resolution is sound.
+	img := assemble(t, `
+	.org 0x40
+start:	MOV #isr, @VECBASE
+	MOV @0x500, R1
+	AND #1, R1
+	MOV tab(R1), R2
+	JMP (R2)
+a:	HALT
+b:	HALT
+isr:	RTI
+tab:	.word a
+	.word b
+`)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.IRQRoots) != 1 {
+		t.Fatalf("IRQRoots = %v, want 1", g.IRQRoots)
+	}
+	if len(g.Resolved) != 0 {
+		t.Errorf("handler program still resolved: %v", g.Resolved)
+	}
+}
+
+// Note dedup: a site revisited by decode walks from multiple roots must be
+// noted exactly once, resolved or not.
+func TestUnresolvedNoteCounts(t *testing.T) {
+	// Two paths converge on the same unresolved JMP site.
+	img := assemble(t, `
+	.org 0x40
+start:	CMP #0, R1
+	BEQ other
+	MOV @0x500, R3
+	BR join
+other:	MOV @0x501, R3
+join:	MOV @0x502, R2
+	JMP (R2)
+`)
+	g, err := staticflow.BuildCFG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, n := range g.Notes {
+		if strings.Contains(n, "unresolved indirect JMP") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("unresolved notes = %d, want exactly 1:\n%s", count, strings.Join(g.Notes, "\n"))
+	}
+
+	// And a resolved site gets exactly one resolution note.
+	img2 := assemble(t, tableDispatchSource)
+	g2, err := staticflow.BuildCFG(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, n := range g2.Notes {
+		if strings.Contains(n, "resolved by value-set analysis") {
+			resolved++
+		}
+	}
+	if resolved != 1 {
+		t.Errorf("resolution notes = %d, want exactly 1:\n%s", resolved, strings.Join(g2.Notes, "\n"))
+	}
+}

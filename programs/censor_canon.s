@@ -1,0 +1,18 @@
+; censor_canon.s — the SNFE canonicalizing censor at machine level.
+; The output length is quantized to a 16-word boundary: a much narrower
+; channel than censor_format's pass-through, but syntactically the value is
+; still derived from the HIGH input — so a syntactic analyzer rejects it at
+; any precision (the paper's §4 all-or-nothing critique, here working in
+; the censor's favour as conservatism). Memory map: staticflow.CensorSpec.
+	.org 0x40
+start:
+	MOV @0x600, R2		; own_seq
+	ADD #1, R2
+	MOV R2, @0x600
+	MOV R2, @0x700		; out_seq := own counter
+	MOV @0x500, R1		; in_len (HIGH)
+	ADD #15, R1
+	SHR #4, R1
+	SHL #4, R1		; quantize to a 16-word boundary
+	MOV R1, @0x701		; out_len — still a function of in_len
+	HALT

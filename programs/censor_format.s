@@ -1,0 +1,18 @@
+; censor_format.s — the SNFE format-checking censor at machine level.
+; Sequence numbers are re-derived from the censor's own counter, but the
+; red-supplied length field passes through after a range check: an explicit
+; HIGH -> LOW flow that every analyzer precision must reject. The memory
+; map matches staticflow.CensorSpec: header fields (HIGH) at 0x500, censor
+; state (LOW) at 0x600, network-visible output (LOW) at 0x700.
+	.org 0x40
+start:
+	MOV @0x600, R2		; own_seq
+	ADD #1, R2
+	MOV R2, @0x600
+	MOV R2, @0x700		; out_seq := own counter
+	MOV @0x500, R1		; in_len (HIGH)
+	CMP #0, R1		; range check: zero-length frames dropped
+	BEQ drop
+	MOV R1, @0x701		; out_len := in_len — the pass-through
+drop:
+	HALT

@@ -1,0 +1,21 @@
+; censor_strict.s — the SNFE strict censor at machine level.
+; Every output field is a function of the censor's own state: the flow-free
+; design. The implementation spills the HIGH header word around the counter
+; update, interleaving HIGH and LOW values on the stack. A single joined
+; stack summary conflates the two depths — the later POP into the LOW
+; output re-imports the joined HIGH colour and the coarse analyzer rejects
+; a program with no actual flow. Frame-offset stack cells keep the depths
+; apart and certify it, matching the structured-IR verdict for
+; ifa.CensorStrictSpec. Memory map: staticflow.CensorSpec.
+	.org 0x40
+start:
+	MOV @0x500, R1		; in_len (HIGH) — held for the audit record
+	PUSH R1			; spill the HIGH word
+	MOV @0x600, R2		; own_seq (LOW)
+	ADD #1, R2
+	PUSH R2			; spill the updated counter above it
+	MOV #1, @0x702		; out_type := constant "data"
+	POP @0x700		; out_seq := own counter (the LOW cell)
+	POP @0x50f		; HIGH word back to the HIGH audit slot
+	MOV R2, @0x600		; persist the counter
+	HALT
