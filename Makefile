@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke flow-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke flow-smoke fleet-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test ./internal/machine -run '^$$' -fuzz FuzzTranslationInvalidation -fuzztime 10s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzReadJSONL -fuzztime 10s
 	$(GO) test ./internal/witness -run '^$$' -fuzz FuzzWitnessRead -fuzztime 10s
+	$(GO) test ./internal/separability -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 10s
 
 # Trace-analysis smoke (E14): replay the committed golden traces through
 # septrace. The honest Physical/KernelHosted pair must be indistinguishable,
@@ -82,6 +83,31 @@ flow-smoke:
 	$(GO) run ./cmd/sepflow -swap -dynamic -triage > flow-smoke/triage-clean.txt
 	grep -q '0 CONFIRMED, 7 SPURIOUS, 0 UNDECIDED (100% classified)' flow-smoke/triage-clean.txt
 	@echo "flow-smoke: R5 restore confirmed by witness, rest spurious"
+
+# Fleet smoke (E18): build the worker and coordinator binaries, take a
+# direct exhaustive verdict on a planted-leak MiniSUE, then run a 2-shard
+# sepfleet over the same target with per-chunk checkpoints and throttling,
+# SIGKILL shard 0's worker once its checkpoint shows 3 folded chunks, and
+# assert the coordinator restarted it, the replacement RESUMED from the
+# checkpoint rather than starting over, and the merged fleet verdict is
+# byte-identical to the direct run. Artifacts land in fleet-smoke/ for CI
+# upload.
+fleet-smoke:
+	rm -rf fleet-smoke
+	mkdir -p fleet-smoke/bin
+	$(GO) build -o fleet-smoke/bin/sepverify ./cmd/sepverify
+	$(GO) build -o fleet-smoke/bin/sepfleet ./cmd/sepfleet
+	fleet-smoke/bin/sepverify -exhaustive -target minisue:register-leak > fleet-smoke/direct.txt
+	fleet-smoke/bin/sepfleet -target minisue:register-leak -shards 2 -dir fleet-smoke/work \
+		-throttle 3ms -checkpoint-every 1 -poll 50ms -kill-once 0@3 \
+		> fleet-smoke/fleet.txt 2> fleet-smoke/fleet.log
+	grep -q 'kill-once firing' fleet-smoke/fleet.log
+	grep -q 'restarting from checkpoint' fleet-smoke/fleet.log
+	grep -q 'resumed shard 0/2' fleet-smoke/work/shard-0.log
+	head -1 fleet-smoke/direct.txt > fleet-smoke/direct-verdict.txt
+	head -1 fleet-smoke/fleet.txt > fleet-smoke/fleet-verdict.txt
+	diff fleet-smoke/direct-verdict.txt fleet-smoke/fleet-verdict.txt
+	@echo "fleet-smoke: worker killed, resumed from checkpoint, merged verdict matches direct run"
 
 # Race-detector pass over the concurrent verification engine, the kernel
 # adapter it replicates, the witness store fed from worker results, and the

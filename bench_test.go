@@ -11,10 +11,12 @@ package repro
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/ifa"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/minisue"
 	"repro/internal/mls"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -645,4 +648,71 @@ func mustImage(b *testing.B, src string) *asm.Image {
 		b.Fatal(err)
 	}
 	return im
+}
+
+// BenchmarkE18ShardedExhaustive — fleet-style scale-out of the exhaustive
+// MiniSUE proof (E10's scaling story at process granularity): the chunked
+// state space is cut into N shards, each swept by an independent checker
+// instance on its own system — the in-process analogue of N
+// `sepverify -exhaustive -shard k/n` worker processes — and the shard
+// results merged. The merged verdict must be byte-identical to the
+// unsharded single-threaded sweep. units/s counts check units (one state's
+// op pass or one input pass); speedup-x is wall clock versus the serial
+// run measured on the same host, so on a single-core CI box it is ~1.0 for
+// every shard count, exactly as E10 found for goroutine workers. B/op per
+// sweep carries the lead-table memory diet: resident precompute is
+// O(Φ-collision buckets), not O(state space).
+func BenchmarkE18ShardedExhaustive(b *testing.B) {
+	build := func() model.Enumerable { return minisue.New(minisue.Secure) }
+	probe := build()
+	states, inputs := 0, 0
+	probe.EnumerateStates(func(model.StateRef) bool { states++; return true })
+	probe.EnumerateInputs(func(model.Input) bool { inputs++; return true })
+	units := float64(states * (1 + inputs))
+
+	start := time.Now()
+	serial := separability.CheckExhaustiveWorkers(build(), 8, 1)
+	serialDur := time.Since(start)
+	want := serial.Summary()
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srs := make([]*separability.ShardResult, shards)
+				errs := make([]error, shards)
+				var wg sync.WaitGroup
+				for k := 0; k < shards; k++ {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						srs[k], errs[k] = separability.CheckExhaustiveShard(build(),
+							separability.ExhaustiveOptions{
+								MaxViolations: 8, Workers: 1, Shard: k, Shards: shards,
+							})
+					}(k)
+				}
+				wg.Wait()
+				for k, err := range errs {
+					if err != nil {
+						b.Fatalf("shard %d: %v", k, err)
+					}
+				}
+				res, err := separability.MergeShards(srs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Summary() != want {
+					b.Fatalf("merged verdict diverged from serial:\n  %s\n  %s",
+						res.Summary(), want)
+				}
+			}
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(units/perOp, "units/s")
+				b.ReportMetric(serialDur.Seconds()/perOp, "speedup-x")
+			}
+		})
+	}
 }

@@ -5,6 +5,20 @@
 //	sepverify -all                 # sweep: honest + every leak variant
 //	sepverify -uncut               # show the configured channels as flows
 //
+// Exhaustive (explicit-state) proofs, shardable across processes:
+//
+//	sepverify -exhaustive                            # the full proof suite
+//	sepverify -exhaustive -target minisue:secure     # one registered target
+//	sepverify -exhaustive -target T -shard 1/4 \
+//	          -shard-out s1.json -checkpoint s1.ck   # one resumable shard
+//	sepverify -merge s0.json s1.json s2.json s3.json # fold shard artifacts
+//
+// A sharded sweep writes a versioned, content-addressed shard-result file;
+// -merge folds a complete shard set into the combined verdict, which is
+// byte-identical to the unsharded run. -checkpoint persists resumable
+// progress at a bounded cadence, so a killed shard rerun skips finished
+// work (see cmd/sepfleet for the multi-process coordinator).
+//
 // Observability (see internal/obs):
 //
 //	sepverify -metrics             # per-condition check counts + worker throughput
@@ -25,6 +39,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +70,24 @@ func realMain() int {
 		"checker goroutines to shard trials across; 0 = one per CPU core (results are identical for any value)")
 	exhaustive := flag.Bool("exhaustive", false,
 		"run the exhaustive proofs (MiniSUE + toy calibration) instead of the kernel check")
+	target := flag.String("target", "",
+		"with -exhaustive: sweep one registered enumerable target (e.g. minisue:secure; see verifysys)")
+	shardSpec := flag.String("shard", "",
+		"with -target: run only shard k/n of the chunked state space (0-based), e.g. 1/4")
+	shardOut := flag.String("shard-out", "",
+		"with -target: write the sealed shard-result artifact to this file")
+	checkpoint := flag.String("checkpoint", "",
+		"with -target: persist resumable progress to this file and resume from it when present")
+	checkpointEvery := flag.Int("checkpoint-every", 0,
+		"checkpoint cadence in folded chunks (0 = 8)")
+	chunk := flag.Int("chunk", 0,
+		"states per work/checkpoint chunk (0 = 64); all shards of one fleet must agree")
+	maxViolations := flag.Int("max-violations", 8,
+		"counterexamples collected per condition in exhaustive sweeps")
+	throttle := flag.Duration("throttle", 0,
+		"sleep this long before each chunk (testing lever for kill/resume demos)")
+	merge := flag.Bool("merge", false,
+		"merge the shard-result files given as arguments into the combined verdict")
 	metrics := flag.Bool("metrics", false,
 		"collect verifier metrics and dump a throughput report after the run")
 	notranslate := flag.Bool("notranslate", false,
@@ -82,6 +115,18 @@ func realMain() int {
 
 	if *metricsFormat != "prom" && *metricsFormat != "json" {
 		fmt.Fprintf(os.Stderr, "sepverify: unknown -metrics-format %q (want prom or json)\n", *metricsFormat)
+		return 2
+	}
+
+	if *merge {
+		return runMerge(flag.Args())
+	}
+	if *target != "" && !*exhaustive {
+		fmt.Fprintln(os.Stderr, "sepverify: -target requires -exhaustive")
+		return 2
+	}
+	if *target == "" && (*shardSpec != "" || *shardOut != "" || *checkpoint != "") {
+		fmt.Fprintln(os.Stderr, "sepverify: -shard, -shard-out and -checkpoint require -target")
 		return 2
 	}
 
@@ -151,11 +196,20 @@ func realMain() int {
 	}
 
 	if *exhaustive {
-		runExhaustive(*workers, reg)
+		status := 0
+		if *target != "" {
+			status = runTargetExhaustive(*target, separability.ExhaustiveOptions{
+				MaxViolations: *maxViolations, Workers: *workers, Metrics: reg,
+				ChunkSize: *chunk, Checkpoint: *checkpoint, CheckpointEvery: *checkpointEvery,
+				ChunkDelay: *throttle,
+			}, *shardSpec, *shardOut)
+		} else {
+			runExhaustive(*workers, reg)
+		}
 		if *metrics {
 			reportMetrics(reg, time.Since(start), *metricsFormat)
 		}
-		return 0
+		return status
 	}
 
 	opt := separability.Options{
@@ -449,6 +503,138 @@ func workerCounter(full string) (name, id string, ok bool) {
 		return "", "", false
 	}
 	return name, rest[len(pre) : len(rest)-2], true
+}
+
+// parseShard parses a "-shard k/n" spec; empty means the whole space.
+func parseShard(s string) (shard, shards int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want k/n, e.g. 1/4)", s)
+	}
+	k, errK := strconv.Atoi(ks)
+	n, errN := strconv.Atoi(ns)
+	if errK != nil || errN != nil || n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 0 <= k < n)", s)
+	}
+	return k, n, nil
+}
+
+// runTargetExhaustive sweeps one registered target — or one shard of it —
+// optionally persisting the sealed shard artifact and a resumable
+// checkpoint. A single-shard run is judged against the target's expected
+// verdict; a k/n shard carries no verdict of its own (the leak may live in
+// another shard) and exits 0 unless the sweep itself failed.
+func runTargetExhaustive(name string, opt separability.ExhaustiveOptions, shardSpec, shardOut string) int {
+	t, err := verifysys.FindExhaustiveTarget(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sepverify:", err)
+		return 2
+	}
+	opt.Target = name
+	if opt.Shard, opt.Shards, err = parseShard(shardSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "sepverify:", err)
+		return 2
+	}
+	// Announce an adopted checkpoint before the sweep so supervisors (and
+	// the fleet-smoke test) can observe that a restarted worker actually
+	// resumed instead of starting over.
+	if opt.Checkpoint != "" {
+		ck, err := separability.ReadShardCheckpoint(opt.Checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		if ck != nil {
+			fmt.Fprintf(os.Stderr, "sepverify: resumed shard %d/%d of %s from %s (frontier %d of chunks [%d,%d))\n",
+				ck.Shard, ck.Shards, name, opt.Checkpoint, ck.Frontier, ck.StartChunk, ck.EndChunk)
+		}
+	}
+	sr, err := separability.CheckExhaustiveShard(t.Build(), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sepverify:", err)
+		return 2
+	}
+	if shardOut != "" {
+		if err := sr.WriteFile(shardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+	}
+	res, err := sr.Result()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sepverify:", err)
+		return 2
+	}
+	if opt.Shards > 1 {
+		fmt.Printf("%-22s shard %d/%d chunks [%d,%d): %s\n",
+			name+":", opt.Shard, opt.Shards, sr.StartChunk, sr.EndChunk, res.Summary())
+		return 0
+	}
+	return printExhaustiveVerdict(name, res, t.Secure)
+}
+
+// runMerge folds a complete set of shard-result files into the combined
+// verdict, which is identical to an unsharded run of the same target. The
+// exit status follows the target's expected verdict when the stamped target
+// name is registered here.
+func runMerge(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "sepverify: -merge needs shard-result files as arguments")
+		return 2
+	}
+	srs := make([]*separability.ShardResult, 0, len(paths))
+	for _, p := range paths {
+		sr, err := separability.ReadShardResult(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sepverify:", err)
+			return 2
+		}
+		srs = append(srs, sr)
+	}
+	res, err := separability.MergeShards(srs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sepverify:", err)
+		return 2
+	}
+	name := srs[0].Target
+	if name == "" {
+		fmt.Printf("%-22s %s\n", "merged:", res.Summary())
+		return 0
+	}
+	t, err := verifysys.FindExhaustiveTarget(name)
+	if err != nil {
+		fmt.Printf("%-22s %s\n", name+":", res.Summary())
+		return 0
+	}
+	return printExhaustiveVerdict(name, res, t.Secure)
+}
+
+// printExhaustiveVerdict reports one target's combined result in the same
+// shape runOne uses for kernel checks, returning the exit status.
+func printExhaustiveVerdict(name string, res *separability.Result, expectSecure bool) int {
+	verdict := "as expected"
+	good := res.Passed() == expectSecure
+	if !good {
+		verdict = "UNEXPECTED"
+	}
+	fmt.Printf("%-22s %-60s [%s]\n", name+":", res.Summary(), verdict)
+	if !res.Passed() {
+		seen := map[separability.Condition]bool{}
+		for _, v := range res.Violations {
+			if seen[v.Condition] {
+				continue
+			}
+			seen[v.Condition] = true
+			fmt.Printf("    %s\n", v)
+		}
+	}
+	if good {
+		return 0
+	}
+	return 1
 }
 
 // runExhaustive performs the explicit-state proofs: the full MiniSUE state

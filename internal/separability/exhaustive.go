@@ -1,30 +1,60 @@
 package separability
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/obs"
 )
 
-// stateInfo is the per-state precomputation the exhaustive checker works
-// from: Φ digests and extracts for every colour, before and after the
-// state's operation and after every enumerated input. Colours and inputs
-// are indexed positionally (dense slices, not maps): the precompute sweep
-// over states×inputs is the dominant cost of exhaustive checking and maps
-// were both slower and allocation-heavy.
+// The exhaustive checker sweeps the enumerated state space in fixed-size
+// chunks of consecutive states and checks every condition for every colour
+// at each state. Chunks are the unit of work distribution (worker
+// goroutines claim them from an atomic counter), of sharding (a shard is a
+// contiguous chunk range, so `sepverify -shard k/n` processes run disjoint
+// ranges of the same partition) and of checkpointing (completed-chunk
+// frontier plus partial per-colour results).
+//
+// The pairwise conditions (1, 3, 5, 6) quantify over Φc-equal state PAIRS,
+// which cross any contiguous partition. To keep sharding exact, a cheap
+// sequential-order pass first digests Φc of every state for every colour
+// and elects, per (colour, digest) bucket, a canonical LEAD state: the
+// bucket member with the smallest enumeration index (and, for conditions 1
+// and 6, the smallest member with COLOUR=c). Only the lead states are
+// materialized as full stateInfo records; the chunk sweep then compares
+// each state against its bucket's lead. Equality against the lead is
+// equivalent to pairwise equality across the bucket (equality is
+// transitive), every non-lead member performs exactly one comparison, and
+// the comparison a state performs depends only on global enumeration order
+// — so concatenating per-chunk results in chunk order reproduces the
+// unsharded sweep exactly, at any shard x worker count.
+//
+// MaxViolations does not stop the sweep early: condition *counts* always
+// cover the full space, and violation construction is merely suppressed
+// once a per-chunk per-colour result holds MaxViolations entries for the
+// violation's condition. The cap is per condition, so every condition that
+// is violated anywhere keeps its first counterexamples — ViolatedConditions
+// is exact, not an artifact of which violations happened to fill a global
+// cap first. Per-condition prefix-truncation is associative and
+// order-stable, so folding chunk results into shard accumulators, shard
+// files into the combined Result, and per-colour results into the final
+// verdict all commute with the cap — the surviving violations are
+// identical however the space was partitioned.
 type stateInfo struct {
 	ref    model.StateRef
 	colour model.Colour
 	op     model.OpID
 	phi    []uint64   // Φc(s) digest, per colour index
 	phiOp  []uint64   // Φc(op(s)) digest, per colour index
-	outEx  []string   // EXTRACT(c, OUTPUT(s)), per colour index
+	outEx  []uint64   // digest of EXTRACT(c, OUTPUT(s)), per colour index
 	phiIn  [][]uint64 // [input][colour] Φc(INPUT(s,i)) digest
-	inEx   [][]string // [input][colour] EXTRACT(c, i)
+	inEx   [][]uint64 // [input][colour] digest of EXTRACT(c, i)
 }
 
 // CheckExhaustive verifies the six conditions universally over every state
@@ -32,11 +62,10 @@ type stateInfo struct {
 // covers its whole (reachable) state space this constitutes a proof of
 // separability by explicit-state model checking.
 //
-// When the system implements model.Replicable, the per-state precomputation
-// and the per-colour condition passes are sharded across GOMAXPROCS worker
-// goroutines, each on a private replica; the result is identical to the
-// single-threaded check. Use CheckExhaustiveWorkers to pin the worker
-// count.
+// When the system implements model.Replicable, the sweep is sharded across
+// GOMAXPROCS worker goroutines, each on a private replica; the result is
+// identical to the single-threaded check. Use CheckExhaustiveWorkers to pin
+// the worker count.
 func CheckExhaustive(sys model.Enumerable, maxViolations int) *Result {
 	return CheckExhaustiveWorkers(sys, maxViolations, runtime.GOMAXPROCS(0))
 }
@@ -49,34 +78,117 @@ func CheckExhaustiveWorkers(sys model.Enumerable, maxViolations, workers int) *R
 		MaxViolations: maxViolations, Workers: workers})
 }
 
-// ExhaustiveOptions tunes CheckExhaustiveOpt.
+// defaultChunkSize is the per-claim state count when ExhaustiveOptions
+// leaves ChunkSize zero. It is also the checkpoint granularity.
+const defaultChunkSize = 64
+
+// ExhaustiveOptions tunes CheckExhaustiveOpt / CheckExhaustiveShard.
 type ExhaustiveOptions struct {
-	// MaxViolations stops the check early once this many counterexamples
-	// have been collected (0 = 64).
+	// MaxViolations caps how many counterexamples are collected PER
+	// CONDITION (0 = 64), so every violated condition surfaces even when
+	// another condition fails at millions of states. The sweep itself
+	// always covers the full space — the cap suppresses violation
+	// construction, never checking — so results stay identical at any
+	// shard x worker x chunk arrangement.
 	MaxViolations int
-	// Workers shards the precompute sweep and the per-colour passes
-	// across this many goroutines (1 = single-threaded; 0 = one per CPU
-	// core). Results are identical for every worker count.
+	// Workers shards the sweeps across this many goroutines
+	// (1 = single-threaded; 0 = one per CPU core). The count is clamped to
+	// the number of chunks, so small systems never pay for replicas that
+	// would have no work. Results are identical for every worker count.
 	Workers int
 	// Metrics, when non-nil, receives live progress counters so a
 	// -progress consumer can report percent-of-space completed:
 	//
-	//	sep_exh_space_total   — precompute units the pass will visit:
-	//	                        states × (1 + inputs), published up front
+	//	sep_exh_space_total   — check units this shard will visit:
+	//	                        shard states × (1 + inputs), published up
+	//	                        front (resumed work counts as visited)
 	//	sep_exh_states_total  — units completed so far
 	//
 	// Attaching a registry never changes the Result.
 	Metrics *obs.Registry
+
+	// Shard/Shards select one shard of a deterministic partition of the
+	// chunked state space: shard k of n covers chunk range
+	// [k*nChunks/n, (k+1)*nChunks/n). Zero values mean the whole space
+	// (shard 0 of 1). Merging the n shard results in shard order
+	// (MergeShards) is byte-identical to the unsharded run.
+	Shard, Shards int
+	// ChunkSize is the number of consecutive states per work chunk
+	// (0 = 64). Every shard of one partition must use the same value; it
+	// is recorded in shard artifacts and validated on merge and resume.
+	ChunkSize int
+	// Checkpoint, when non-empty, names a file that persists the
+	// completed-chunk frontier plus partial per-colour results, rewritten
+	// atomically every CheckpointEvery folded chunks. A rerun pointed at
+	// the same file validates it (content-addressed ID plus parameter
+	// match; tampered or mismatched files are rejected with an error) and
+	// resumes after the frontier, producing the identical ShardResult.
+	Checkpoint string
+	// CheckpointEvery is the checkpoint cadence in folded chunks (0 = 8).
+	CheckpointEvery int
+	// Target names the system being swept; it is stamped into shard
+	// artifacts so results from different targets cannot be merged or
+	// resumed into each other.
+	Target string
+
+	// AbortAfterChunks, when positive, stops the run with ErrAborted after
+	// this many chunks have been folded this run, writing a final
+	// checkpoint first (testing lever: simulates a kill at a chosen point).
+	AbortAfterChunks int
+	// ChunkDelay sleeps this long before processing each claimed chunk
+	// (testing/fleet-smoke lever: slows the sweep so externally timed
+	// kills land mid-run).
+	ChunkDelay time.Duration
 }
 
-// CheckExhaustiveOpt is the options form of CheckExhaustive.
+// ErrAborted reports that CheckExhaustiveShard stopped early because
+// ExhaustiveOptions.AbortAfterChunks was reached; if a checkpoint file is
+// configured, the partial progress has been persisted to it.
+var ErrAborted = errors.New("separability: exhaustive sweep aborted after configured chunk budget")
+
+// CheckExhaustiveOpt is the options form of CheckExhaustive, for complete
+// in-process runs. It panics on errors, which for full sweeps can only be
+// option misuse (an invalid shard spec, an unusable checkpoint file) —
+// process-level drivers that need error handling use CheckExhaustiveShard.
 func CheckExhaustiveOpt(sys model.Enumerable, opt ExhaustiveOptions) *Result {
-	maxViolations, workers := opt.MaxViolations, opt.Workers
+	sr, err := CheckExhaustiveShard(sys, opt)
+	if err != nil {
+		panic("separability: CheckExhaustiveOpt: " + err.Error())
+	}
+	res, err := sr.Result()
+	if err != nil {
+		panic("separability: CheckExhaustiveOpt: " + err.Error())
+	}
+	return res
+}
+
+// CheckExhaustiveShard runs one shard of the exhaustive sweep (the whole
+// space when Shards <= 1) and returns its sealed, content-addressed
+// ShardResult. Checkpoint resume, sharding and worker parallelism all
+// compose: the merged result is byte-identical however the sweep was cut.
+func CheckExhaustiveShard(sys model.Enumerable, opt ExhaustiveOptions) (*ShardResult, error) {
+	maxViolations := opt.MaxViolations
 	if maxViolations <= 0 {
 		maxViolations = 64
 	}
+	workers := opt.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	chunkSize := opt.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = defaultChunkSize
+	}
+	shard, shards := opt.Shard, opt.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("separability: invalid shard %d/%d", shard, shards)
+	}
+	ckEvery := opt.CheckpointEvery
+	if ckEvery <= 0 {
+		ckEvery = 8
 	}
 
 	var states []model.StateRef
@@ -90,103 +202,474 @@ func CheckExhaustiveOpt(sys model.Enumerable, opt ExhaustiveOptions) *Result {
 		return true
 	})
 	colours := sys.Colours()
+	nc := len(colours)
 
-	if workers > len(states) {
-		workers = len(states)
-	}
-	var replicas []model.Enumerable
-	if workers > 1 {
-		replicas = replicate(sys, workers)
-		workers = len(replicas) // 1 when the system is not replicable
-	}
-
-	// Progress counters: the space is published before the sweep starts so
-	// consumers can compute percent-complete from the first scrape; each
-	// precomputed state advances the done counter by its unit weight
-	// (1 op pass + one per input).
-	unitsPerState := uint64(1 + len(inputs))
-	var done *obs.Counter
-	if opt.Metrics != nil {
-		opt.Metrics.Counter("sep_exh_space_total").Add(uint64(len(states)) * unitsPerState)
-		done = opt.Metrics.Counter("sep_exh_states_total")
+	nChunks := (len(states) + chunkSize - 1) / chunkSize
+	startChunk := shard * nChunks / shards
+	endChunk := (shard + 1) * nChunks / shards
+	params := ShardParams{
+		Target: opt.Target, Shard: shard, Shards: shards,
+		ChunkSize: chunkSize, MaxViolations: maxViolations,
+		States: len(states), Inputs: len(inputs), Colours: colourNames(colours),
 	}
 
-	// Phase 1: the Restore/Step/ApplyInput sweep over states×inputs,
-	// chunked across workers writing disjoint slots of infos.
-	infos := make([]*stateInfo, len(states))
-	if workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		const chunk = 64
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(rep model.Enumerable) {
-				defer wg.Done()
-				for {
-					lo := int(next.Add(chunk)) - chunk
-					if lo >= len(states) {
-						return
-					}
-					hi := lo + chunk
-					if hi > len(states) {
-						hi = len(states)
-					}
-					for si := lo; si < hi; si++ {
-						infos[si] = precompute(rep, states[si], colours, inputs)
-						if done != nil {
-							done.Add(unitsPerState)
-						}
-					}
-				}
-			}(replicas[w])
+	// Resume: load, validate and adopt any prior checkpoint before paying
+	// for the sweeps. A missing file is a cold start; an invalid or
+	// mismatched one is an error, never a silent restart.
+	frontier := startChunk
+	acc := make([]*Result, nc)
+	for ci := range acc {
+		acc[ci] = &Result{Checks: map[Condition]int{}}
+	}
+	if opt.Checkpoint != "" {
+		ck, err := ReadShardCheckpoint(opt.Checkpoint)
+		if err != nil {
+			return nil, err
 		}
-		wg.Wait()
-	} else {
-		for si, ref := range states {
-			infos[si] = precompute(sys, ref, colours, inputs)
-			if done != nil {
-				done.Add(unitsPerState)
+		if ck != nil {
+			if err := ck.ShardParams.sameSweep(params); err != nil {
+				return nil, fmt.Errorf("separability: checkpoint %s: %w", opt.Checkpoint, err)
+			}
+			if ck.Shard != shard {
+				return nil, fmt.Errorf("separability: checkpoint %s: shard %d, want %d",
+					opt.Checkpoint, ck.Shard, shard)
+			}
+			frontier = ck.Frontier
+			for ci := range acc {
+				r, err := ck.PerColour[ci].result()
+				if err != nil {
+					return nil, fmt.Errorf("separability: checkpoint %s: colour %d: %w",
+						opt.Checkpoint, ci, err)
+				}
+				acc[ci] = r
 			}
 		}
 	}
 
-	// Phase 2: per-colour condition passes. Each colour's pass is
-	// independent given the precomputed infos; it needs a system only to
-	// lazily re-derive canonical Φ strings when a violation needs a
-	// human-readable Detail. Per-colour Results are merged in colour
-	// order, so the outcome does not depend on the worker count.
-	perColour := make([]*Result, len(colours))
-	if workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(rep model.Enumerable) {
-				defer wg.Done()
-				for {
-					ci := int(next.Add(1)) - 1
-					if ci >= len(colours) {
-						return
-					}
-					perColour[ci] = checkColour(rep, ci, colours[ci], infos, inputs, maxViolations)
-				}
-			}(replicas[w])
-		}
-		wg.Wait()
-	} else {
-		for ci, c := range colours {
-			perColour[ci] = checkColour(sys, ci, c, infos, inputs, maxViolations)
+	// Progress counters: the shard's own unit space is published before the
+	// sweep starts, and resumed work is credited immediately, so consumers
+	// can compute percent-complete from the first scrape.
+	unitsPerState := uint64(1 + len(inputs))
+	var done *obs.Counter
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("sep_exh_space_total").
+			Add(uint64(statesInChunks(startChunk, endChunk, chunkSize, len(states))) * unitsPerState)
+		done = opt.Metrics.Counter("sep_exh_states_total")
+		if n := statesInChunks(startChunk, frontier, chunkSize, len(states)); n > 0 {
+			done.Add(uint64(n) * unitsPerState)
 		}
 	}
 
-	res := &Result{Checks: map[Condition]int{}}
-	for _, cr := range perColour {
-		if len(res.Violations) >= maxViolations {
+	// Chunks are the unit of parallelism: clamp the worker count so small
+	// systems never spin up replicas that would claim nothing.
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	replicas := []model.Enumerable{sys}
+	if workers > 1 {
+		replicas = replicate(sys, workers)
+	}
+
+	// Pass 0: anchor Φ digests of EVERY state for every colour, plus the
+	// lead-table election. This pass is shard-independent — every shard
+	// derives the same global pairing structure, which is what makes a
+	// contiguous chunk range an exact slice of the unsharded sweep.
+	phi0 := make([]uint64, len(states)*nc)
+	cols := make([]model.Colour, len(states))
+	runChunks(replicas, nChunks, func(rep model.Enumerable, cj int) {
+		lo, hi := chunkBounds(cj, chunkSize, len(states))
+		for si := lo; si < hi; si++ {
+			rep.Restore(states[si])
+			cols[si] = rep.Colour()
+			for ci, c := range colours {
+				phi0[si*nc+ci] = model.AbstractDigest(rep, c)
+			}
+		}
+	})
+	leads := make([]map[uint64]*leadEnt, nc)
+	needed := map[int]bool{}
+	for ci := range colours {
+		m := make(map[uint64]*leadEnt)
+		for si := range states {
+			d := phi0[si*nc+ci]
+			e := m[d]
+			if e == nil {
+				e = &leadEnt{leadSi: si, activeSi: -1}
+				m[d] = e
+			}
+			e.n++
+			if cols[si] == colours[ci] {
+				if e.activeSi < 0 {
+					e.activeSi = si
+				}
+				e.nActive++
+			}
+		}
+		for _, e := range m {
+			if e.n >= 2 {
+				needed[e.leadSi] = true
+			}
+			if e.nActive >= 2 {
+				needed[e.activeSi] = true
+			}
+		}
+		leads[ci] = m
+	}
+	cols = nil
+
+	// Materialize full stateInfo for just the lead states (only buckets
+	// with a second member need one) — the O(leads) resident set that
+	// replaces the old O(space) whole-table precompute.
+	neededSis := make([]int, 0, len(needed))
+	for si := range needed {
+		neededSis = append(neededSis, si)
+	}
+	sort.Ints(neededSis)
+	leadBySi := make(map[int]*stateInfo, len(neededSis))
+	leadInfos := make([]*stateInfo, len(neededSis))
+	runChunks(replicas, (len(neededSis)+chunkSize-1)/chunkSize, func(rep model.Enumerable, cj int) {
+		lo, hi := chunkBounds(cj, chunkSize, len(neededSis))
+		for k := lo; k < hi; k++ {
+			si := neededSis[k]
+			info := &stateInfo{}
+			precomputeInto(rep, states[si], colours, inputs, phi0[si*nc:(si+1)*nc], info)
+			leadInfos[k] = info
+		}
+	})
+	for k, si := range neededSis {
+		leadBySi[si] = leadInfos[k]
+	}
+
+	e := &exhEngine{
+		colours: colours, inputs: inputs,
+		leads: leads, leadBySi: leadBySi,
+		maxViolations: maxViolations,
+	}
+
+	// The chunk sweep: workers claim chunks from the shard's frontier, each
+	// precomputing states into one pooled stateInfo and checking them
+	// in place; the folder merges finished chunks strictly in chunk order
+	// and persists the checkpoint at the configured cadence.
+	folder := &chunkFolder{
+		pending: map[int][]*Result{}, frontier: frontier, endChunk: endChunk,
+		acc: acc, max: maxViolations, abortAfter: opt.AbortAfterChunks,
+		ckPath: opt.Checkpoint, ckEvery: ckEvery,
+		mkCk: func(frontier int, acc []*Result, doneFlag bool) *ShardCheckpoint {
+			return newShardCheckpoint(params, startChunk, endChunk, frontier, doneFlag, acc)
+		},
+	}
+	var claim atomic.Int64
+	claim.Store(int64(frontier))
+	work := func(rep model.Enumerable) {
+		var info stateInfo
+		groups := make(map[uint64]int, len(inputs))
+		opClass := map[model.OpID]string{}
+		cls := func(op model.OpID) string {
+			s, ok := opClass[op]
+			if !ok {
+				s = model.OpClass(rep, op)
+				opClass[op] = s
+			}
+			return s
+		}
+		for {
+			if folder.stopped() {
+				return
+			}
+			cj := int(claim.Add(1)) - 1
+			if cj >= endChunk {
+				return
+			}
+			if opt.ChunkDelay > 0 {
+				time.Sleep(opt.ChunkDelay)
+			}
+			perColour := make([]*Result, nc)
+			for ci := range perColour {
+				perColour[ci] = &Result{Checks: map[Condition]int{}}
+			}
+			lo, hi := chunkBounds(cj, chunkSize, len(states))
+			for si := lo; si < hi; si++ {
+				precomputeInto(rep, states[si], colours, inputs, phi0[si*nc:(si+1)*nc], &info)
+				e.checkState(rep, cls, groups, si, &info, perColour)
+				if done != nil {
+					done.Add(unitsPerState)
+				}
+			}
+			folder.deliver(cj, perColour)
+		}
+	}
+	if len(replicas) == 1 {
+		work(replicas[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, rep := range replicas {
+			wg.Add(1)
+			go func(rep model.Enumerable) {
+				defer wg.Done()
+				work(rep)
+			}(rep)
+		}
+		wg.Wait()
+	}
+	if folder.err != nil {
+		return nil, folder.err
+	}
+	if folder.stop {
+		return nil, ErrAborted
+	}
+
+	sr := &ShardResult{
+		Version: ShardSchemaVersion, Kind: KindShardResult, ShardParams: params,
+		StartChunk: startChunk, EndChunk: endChunk, PerColour: resultRecords(acc),
+	}
+	if err := sr.seal(); err != nil {
+		return nil, err
+	}
+	if opt.Checkpoint != "" {
+		if err := writeShardCheckpoint(opt.Checkpoint,
+			newShardCheckpoint(params, startChunk, endChunk, endChunk, true, acc)); err != nil {
+			return nil, err
+		}
+	}
+	return sr, nil
+}
+
+// leadEnt is one (colour, Φ-digest) bucket of the lead table: its size, its
+// lead (first member in enumeration order) and the first member whose
+// COLOUR is the bucket's colour (the reference for conditions 1 and 6).
+type leadEnt struct {
+	leadSi, activeSi int
+	n, nActive       int
+}
+
+// exhEngine bundles the read-only sweep context the per-state check needs.
+type exhEngine struct {
+	colours       []model.Colour
+	inputs        []model.Input
+	leads         []map[uint64]*leadEnt
+	leadBySi      map[int]*stateInfo
+	maxViolations int
+}
+
+// checkState runs every condition for every colour at one state, appending
+// to the chunk's per-colour results. The condition order per (state,
+// colour) is fixed — 2, 5, 3 per input, 6, 1, 4 — so violation order is a
+// pure function of enumeration order, independent of chunking. sys is used
+// only for lazy Detail re-derivation on the cold violation path; groups is
+// a caller-owned scratch map reused across states.
+func (e *exhEngine) checkState(sys model.Enumerable, cls func(model.OpID) string,
+	groups map[uint64]int, si int, info *stateInfo, out []*Result) {
+
+	for ci, c := range e.colours {
+		res := out[ci]
+		ent := e.leads[ci][info.phi[ci]]
+
+		// Condition 2: an operation on another colour's behalf leaves Φc
+		// unchanged (single-state check).
+		if info.colour != c {
+			res.count(Condition2)
+			res.countOp(cls(info.op), 1)
+			if info.phiOp[ci] != info.phi[ci] {
+				e.addCapped(res, Violation{Condition: Condition2, Colour: c, Op: info.op,
+					Step: si, Want: info.phi[ci], Got: info.phiOp[ci],
+					Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
+			}
+		}
+
+		// Pairwise conditions against the bucket lead; the lead itself has
+		// nothing to compare against.
+		if ent.n >= 2 && si != ent.leadSi {
+			lead := e.leadBySi[ent.leadSi]
+			res.countOp(cls(info.op), 1+len(e.inputs))
+
+			// Condition 5: outputs agree across the bucket.
+			res.count(Condition5)
+			if info.outEx[ci] != lead.outEx[ci] {
+				e.addCapped(res, Violation{Condition: Condition5, Colour: c, Op: info.op,
+					Step: si, Want: lead.outEx[ci], Got: info.outEx[ci],
+					Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
+						outExAt(sys, lead.ref, c), outExAt(sys, info.ref, c))})
+			}
+
+			// Condition 3: inputs act congruently across the bucket.
+			for ii := range e.inputs {
+				res.count(Condition3)
+				if info.phiIn[ii][ci] != lead.phiIn[ii][ci] {
+					e.addCapped(res, Violation{Condition: Condition3, Colour: c, Op: info.op,
+						Step: si, Want: lead.phiIn[ii][ci], Got: info.phiIn[ii][ci],
+						Detail: fmt.Sprintf("input %d: %s", ii,
+							diffDetail(phiInAt(sys, lead.ref, e.inputs[ii], c),
+								phiInAt(sys, info.ref, e.inputs[ii], c)))})
+				}
+			}
+		}
+
+		// Conditions 6 and 1 against the bucket's first COLOUR=c member.
+		if info.colour == c && ent.nActive >= 2 && si != ent.activeSi {
+			aLead := e.leadBySi[ent.activeSi]
+			res.countOp(cls(info.op), 2)
+			res.count(Condition6)
+			if info.op != aLead.op {
+				e.addCapped(res, Violation{Condition: Condition6, Colour: c, Op: info.op,
+					Step: si,
+					Want: model.DigestString(string(aLead.op)), Got: model.DigestString(string(info.op)),
+					Detail: fmt.Sprintf("NEXTOP %q vs %q", aLead.op, info.op)})
+			}
+			res.count(Condition1)
+			if info.phiOp[ci] != aLead.phiOp[ci] {
+				e.addCapped(res, Violation{Condition: Condition1, Colour: c, Op: info.op,
+					Step: si, Want: aLead.phiOp[ci], Got: info.phiOp[ci],
+					Detail: diffDetail(phiOpAt(sys, aLead.ref, c), phiOpAt(sys, info.ref, c))})
+			}
+		}
+
+		// Condition 4: this state's inputs grouped by EXTRACT(c, i).
+		clear(groups)
+		checked := 0
+		for ii := range e.inputs {
+			key := info.inEx[ii][ci]
+			if first, ok := groups[key]; ok {
+				res.count(Condition4)
+				checked++
+				if info.phiIn[ii][ci] != info.phiIn[first][ci] {
+					e.addCapped(res, Violation{Condition: Condition4, Colour: c, Op: info.op,
+						Step: si, Want: info.phiIn[first][ci], Got: info.phiIn[ii][ci],
+						Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
+							first, ii)})
+				}
+			} else {
+				groups[key] = ii
+			}
+		}
+		res.countOp(cls(info.op), checked)
+	}
+}
+
+// addCapped appends unless the chunk-colour result already holds the
+// per-condition cap for v's condition (the scan is cold: it only runs when
+// a violation was found, and chunk results are bounded); counting is
+// unaffected, so suppression composes with any partitioning.
+func (e *exhEngine) addCapped(res *Result, v Violation) {
+	n := 0
+	for i := range res.Violations {
+		if res.Violations[i].Condition == v.Condition {
+			if n++; n >= e.maxViolations {
+				return
+			}
+		}
+	}
+	res.add(v)
+}
+
+// chunkFolder merges finished chunks into the shard's per-colour
+// accumulators strictly in chunk order (out-of-order deliveries wait in
+// pending), truncating each colour to the violation cap, and persists the
+// checkpoint at the configured cadence under the same lock.
+type chunkFolder struct {
+	mu         sync.Mutex
+	pending    map[int][]*Result
+	frontier   int
+	endChunk   int
+	acc        []*Result
+	max        int
+	foldedRun  int
+	abortAfter int
+	stop       bool
+	ckPath     string
+	ckEvery    int
+	sinceCk    int
+	mkCk       func(frontier int, acc []*Result, done bool) *ShardCheckpoint
+	err        error
+}
+
+func (f *chunkFolder) stopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stop
+}
+
+func (f *chunkFolder) deliver(cj int, perColour []*Result) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stop {
+		return
+	}
+	f.pending[cj] = perColour
+	for {
+		next, ok := f.pending[f.frontier]
+		if !ok {
 			break
 		}
-		res.Merge(cr)
+		delete(f.pending, f.frontier)
+		for ci, cr := range next {
+			f.acc[ci].Merge(cr)
+			f.acc[ci].Violations = truncatePerCondition(f.acc[ci].Violations, f.max)
+		}
+		f.frontier++
+		f.foldedRun++
+		f.sinceCk++
 	}
-	return res
+	aborting := f.abortAfter > 0 && f.foldedRun >= f.abortAfter && f.frontier < f.endChunk
+	if f.ckPath != "" && f.sinceCk > 0 && (f.sinceCk >= f.ckEvery || aborting) {
+		if err := writeShardCheckpoint(f.ckPath, f.mkCk(f.frontier, f.acc, false)); err != nil {
+			if f.err == nil {
+				f.err = err
+			}
+			f.stop = true
+			return
+		}
+		f.sinceCk = 0
+	}
+	if aborting {
+		f.stop = true
+	}
+}
+
+// runChunks claims chunk indices [0, n) across one goroutine per replica
+// (inline when there is only one).
+func runChunks(replicas []model.Enumerable, n int, fn func(rep model.Enumerable, cj int)) {
+	if len(replicas) == 1 {
+		for cj := 0; cj < n; cj++ {
+			fn(replicas[0], cj)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, rep := range replicas {
+		wg.Add(1)
+		go func(rep model.Enumerable) {
+			defer wg.Done()
+			for {
+				cj := int(next.Add(1)) - 1
+				if cj >= n {
+					return
+				}
+				fn(rep, cj)
+			}
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// chunkBounds returns chunk cj's state range clipped to n states.
+func chunkBounds(cj, chunkSize, n int) (int, int) {
+	lo := cj * chunkSize
+	hi := lo + chunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// statesInChunks counts the states covered by chunk range [lo, hi).
+func statesInChunks(lo, hi, chunkSize, states int) int {
+	a := min(lo*chunkSize, states)
+	b := min(hi*chunkSize, states)
+	return b - a
 }
 
 // replicate clones sys up to n times; the original is element 0. A system
@@ -208,36 +691,41 @@ func replicate(sys model.Enumerable, n int) []model.Enumerable {
 	return out
 }
 
-// precompute gathers one state's stateInfo on the given system instance.
-// The per-input resets anchor on a stateScope so Checkpointer systems pay
-// O(words touched) per reset instead of a full Restore.
-func precompute(sys model.Enumerable, ref model.StateRef,
-	colours []model.Colour, inputs []model.Input) *stateInfo {
+// precomputeInto gathers one state's stateInfo on the given system instance
+// into info, reusing info's backing slices when they are large enough (the
+// chunk sweep recycles one buffer per worker across every state it
+// processes). Anchor Φ digests come from phiAnchor, the caller's pass-0
+// row, so the sweep pays only the post-op and post-input digests. All
+// extracts are stored as FNV-64 digests; canonical strings are re-derived
+// lazily on the cold violation path. The per-input resets anchor on a
+// stateScope so Checkpointer systems pay O(words touched) per reset
+// instead of a full Restore.
+func precomputeInto(sys model.Enumerable, ref model.StateRef,
+	colours []model.Colour, inputs []model.Input, phiAnchor []uint64, info *stateInfo) {
+
+	nc, ni := len(colours), len(inputs)
+	info.ref = ref
+	info.phi = append(info.phi[:0], phiAnchor...)
+	info.phiOp = growU64(info.phiOp, nc)
+	info.outEx = growU64(info.outEx, nc)
+	info.phiIn = growU64Rows(info.phiIn, ni, nc)
+	info.inEx = growU64Rows(info.inEx, ni, nc)
 
 	sys.Restore(ref)
 	sc := openScopeAt(sys, ref)
 	defer sc.close()
-	info := &stateInfo{
-		ref:    ref,
-		colour: sys.Colour(),
-		op:     sys.NextOp(),
-		phi:    make([]uint64, len(colours)),
-		phiOp:  make([]uint64, len(colours)),
-		outEx:  make([]string, len(colours)),
-		phiIn:  make([][]uint64, len(inputs)),
-		inEx:   make([][]string, len(inputs)),
-	}
+	info.colour = sys.Colour()
+	info.op = sys.NextOp()
 	out := sys.CurrentOutput()
 	for ci, c := range colours {
-		info.phi[ci] = model.AbstractDigest(sys, c)
-		info.outEx[ci] = sys.ExtractOutput(c, out)
+		info.outEx[ci] = model.DigestString(sys.ExtractOutput(c, out))
 	}
 	// The footprint shortcut: when the system can prove which colours a
 	// mutation touched (model.DirtyTracker over the checkpoint's write
 	// journal), untouched colours reuse the anchor digest — Φ^c is a pure
 	// function of state the mutation never wrote. Masks wider than 64
 	// colours cannot be represented; such systems take the full sweeps.
-	wide := len(colours) > 64
+	wide := nc > 64
 	sys.Step()
 	opMask, opOK := sc.dirty()
 	for ci, c := range colours {
@@ -249,24 +737,38 @@ func precompute(sys model.Enumerable, ref model.StateRef,
 	}
 	for ii, in := range inputs {
 		sc.reset()
-		phiIn := make([]uint64, len(colours))
-		inEx := make([]string, len(colours))
 		for ci, c := range colours {
-			inEx[ci] = sys.ExtractInput(c, in)
+			info.inEx[ii][ci] = model.DigestString(sys.ExtractInput(c, in))
 		}
 		sys.ApplyInput(in)
 		inMask, inOK := sc.dirty()
 		for ci, c := range colours {
 			if inOK && !wide && inMask&(1<<uint(ci)) == 0 {
-				phiIn[ci] = info.phi[ci]
+				info.phiIn[ii][ci] = info.phi[ci]
 			} else {
-				phiIn[ci] = model.AbstractDigest(sys, c)
+				info.phiIn[ii][ci] = model.AbstractDigest(sys, c)
 			}
 		}
-		info.phiIn[ii] = phiIn
-		info.inEx[ii] = inEx
 	}
-	return info
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growU64Rows(s [][]uint64, n, m int) [][]uint64 {
+	if cap(s) < n {
+		s = make([][]uint64, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = growU64(s[i], m)
+	}
+	return s
 }
 
 // The lazy string re-derivations for violation Details: each restores the
@@ -291,147 +793,55 @@ func phiInAt(sys model.Enumerable, ref model.StateRef, in model.Input, c model.C
 	return sys.Abstract(c)
 }
 
-// checkColour runs every condition pass for one colour over the
-// precomputed state table, accumulating into a private Result capped at
-// maxViolations. sys is used only for lazy Detail re-derivation.
-func checkColour(sys model.Enumerable, ci int, c model.Colour,
-	infos []*stateInfo, inputs []model.Input, maxViolations int) *Result {
+func outExAt(sys model.Enumerable, ref model.StateRef, c model.Colour) string {
+	sys.Restore(ref)
+	return sys.ExtractOutput(c, sys.CurrentOutput())
+}
 
+// foldColours merges per-colour results in colour order and truncates to
+// the per-condition violation cap — the deterministic final fold shared by
+// the in-process engine and the shard-file merge.
+func foldColours(perColour []*Result, max int) *Result {
 	res := &Result{Checks: map[Condition]int{}}
-	tooMany := func() bool { return len(res.Violations) >= maxViolations }
-
-	// cls memoizes operation classes: OpIDs repeat heavily across states,
-	// and classification may decode instruction words.
-	opClass := map[model.OpID]string{}
-	cls := func(op model.OpID) string {
-		s, ok := opClass[op]
-		if !ok {
-			s = model.OpClass(sys, op)
-			opClass[op] = s
-		}
-		return s
+	for _, cr := range perColour {
+		res.Merge(cr)
 	}
-
-	// Condition 2 (single-state).
-	for si, info := range infos {
-		if info.colour == c {
-			continue
-		}
-		res.count(Condition2)
-		res.countOp(cls(info.op), 1)
-		if info.phiOp[ci] != info.phi[ci] {
-			res.add(Violation{Condition: Condition2, Colour: c, Op: info.op,
-				Step: si, Want: info.phi[ci], Got: info.phiOp[ci],
-				Detail: diffDetail(phiAt(sys, info.ref, c), phiOpAt(sys, info.ref, c))})
-			if tooMany() {
-				return res
-			}
-		}
-	}
-
-	// Pairwise conditions: bucket states by Φc digest. Buckets are
-	// processed in order of their first member so violation order is a
-	// pure function of the enumeration (Go map iteration is randomized).
-	buckets := map[uint64][]int{}
-	for si, info := range infos {
-		buckets[info.phi[ci]] = append(buckets[info.phi[ci]], si)
-	}
-	for leadSi, leadInfo := range infos {
-		bucket := buckets[leadInfo.phi[ci]]
-		if bucket[0] != leadSi {
-			continue
-		}
-		lead := infos[bucket[0]]
-		for _, si := range bucket[1:] {
-			info := infos[si]
-
-			// One condition-5 check plus one condition-3 check per input,
-			// all attributed to this member's operation.
-			res.countOp(cls(info.op), 1+len(inputs))
-
-			// Condition 5: outputs agree across the bucket.
-			res.count(Condition5)
-			if info.outEx[ci] != lead.outEx[ci] {
-				res.add(Violation{Condition: Condition5, Colour: c, Op: info.op,
-					Step: si,
-					Want: model.DigestString(lead.outEx[ci]), Got: model.DigestString(info.outEx[ci]),
-					Detail: fmt.Sprintf("EXTRACT(c,OUTPUT) %q vs %q",
-						lead.outEx[ci], info.outEx[ci])})
-			}
-
-			// Condition 3: inputs act congruently across the bucket.
-			for ii := range inputs {
-				res.count(Condition3)
-				if info.phiIn[ii][ci] != lead.phiIn[ii][ci] {
-					res.add(Violation{Condition: Condition3, Colour: c, Op: info.op,
-						Step: si, Want: lead.phiIn[ii][ci], Got: info.phiIn[ii][ci],
-						Detail: fmt.Sprintf("input %d: %s", ii,
-							diffDetail(phiInAt(sys, lead.ref, inputs[ii], c),
-								phiInAt(sys, info.ref, inputs[ii], c)))})
-				}
-			}
-			if tooMany() {
-				return res
-			}
-		}
-
-		// Conditions 1 and 6 apply to the sub-bucket with COLOUR=c.
-		var activeIdx []int
-		for _, si := range bucket {
-			if infos[si].colour == c {
-				activeIdx = append(activeIdx, si)
-			}
-		}
-		if len(activeIdx) > 1 {
-			lead := infos[activeIdx[0]]
-			for _, si := range activeIdx[1:] {
-				info := infos[si]
-				res.countOp(cls(info.op), 2)
-				res.count(Condition6)
-				if info.op != lead.op {
-					res.add(Violation{Condition: Condition6, Colour: c, Op: info.op,
-						Step: si,
-						Want: model.DigestString(string(lead.op)), Got: model.DigestString(string(info.op)),
-						Detail: fmt.Sprintf("NEXTOP %q vs %q", lead.op, info.op)})
-				}
-				res.count(Condition1)
-				if info.phiOp[ci] != lead.phiOp[ci] {
-					res.add(Violation{Condition: Condition1, Colour: c, Op: info.op,
-						Step: si, Want: lead.phiOp[ci], Got: info.phiOp[ci],
-						Detail: diffDetail(phiOpAt(sys, lead.ref, c),
-							phiOpAt(sys, info.ref, c))})
-				}
-				if tooMany() {
-					return res
-				}
-			}
-		}
-	}
-
-	// Condition 4: per state, inputs grouped by EXTRACT(c, i).
-	for si, info := range infos {
-		groups := map[string]int{}
-		checked := 0
-		for ii := range inputs {
-			key := info.inEx[ii][ci]
-			if first, ok := groups[key]; ok {
-				res.count(Condition4)
-				checked++
-				if info.phiIn[ii][ci] != info.phiIn[first][ci] {
-					res.add(Violation{Condition: Condition4, Colour: c, Op: info.op,
-						Step: si, Want: info.phiIn[first][ci], Got: info.phiIn[ii][ci],
-						Detail: fmt.Sprintf("inputs %d and %d extract-equal but act differently",
-							first, ii)})
-					if tooMany() {
-						res.countOp(cls(info.op), checked)
-						return res
-					}
-				}
-			} else {
-				groups[key] = ii
-			}
-		}
-		res.countOp(cls(info.op), checked)
-	}
+	res.Violations = truncatePerCondition(res.Violations, max)
 	return res
+}
+
+// truncatePerCondition keeps each condition's first max violations,
+// preserving order (stable in-place filter). Prefix-truncation per
+// condition is associative: applying it per chunk, per shard and on the
+// final fold yields the same survivors as one pass over the whole list.
+func truncatePerCondition(vs []Violation, max int) []Violation {
+	var counts [ConditionSched + 1]int
+	overflow := false
+	for i := range vs {
+		if counts[vs[i].Condition] >= max {
+			overflow = true
+			break
+		}
+		counts[vs[i].Condition]++
+	}
+	if !overflow {
+		return vs
+	}
+	out := vs[:0]
+	clear(counts[:])
+	for _, v := range vs {
+		if counts[v.Condition] < max {
+			counts[v.Condition]++
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func colourNames(cs []model.Colour) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = string(c)
+	}
+	return out
 }

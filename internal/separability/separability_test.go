@@ -1,6 +1,7 @@
 package separability_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/separability"
@@ -98,10 +99,25 @@ func TestResultSummaryFormats(t *testing.T) {
 	}
 }
 
-func TestMaxViolationsStopsEarly(t *testing.T) {
+// MaxViolations caps the counterexamples collected per condition: no
+// condition may exceed the cap, and every condition the uncapped run
+// catches must still surface under a tight cap.
+func TestMaxViolationsCapsPerCondition(t *testing.T) {
 	bad := separability.NewToySystem(separability.ToyDirectWrite)
 	res := separability.CheckExhaustive(bad, 5)
-	if len(res.Violations) > 5 {
-		t.Errorf("collected %d violations, cap was 5", len(res.Violations))
+	perCond := map[separability.Condition]int{}
+	for _, v := range res.Violations {
+		perCond[v.Condition]++
+	}
+	for c, n := range perCond {
+		if n > 5 {
+			t.Errorf("collected %d violations for %s, cap was 5", n, c)
+		}
+	}
+	full := separability.CheckExhaustive(separability.NewToySystem(separability.ToyDirectWrite), 1<<20)
+	want := full.ViolatedConditions()
+	got := separability.CheckExhaustive(separability.NewToySystem(separability.ToyDirectWrite), 1).ViolatedConditions()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cap 1 lost conditions: got %v, uncapped %v", got, want)
 	}
 }
