@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke flow-smoke fleet-smoke
+.PHONY: verify race test bench bench-smoke lint fuzz-smoke trace-smoke witness-smoke flow-smoke fleet-smoke watch-smoke
 
 # Tier-1 gate: vet, build, full test suite.
 verify:
@@ -109,11 +109,50 @@ fleet-smoke:
 	diff fleet-smoke/direct-verdict.txt fleet-smoke/fleet-verdict.txt
 	@echo "fleet-smoke: worker killed, resumed from checkpoint, merged verdict matches direct run"
 
+# Continuous-verification smoke (E19): three sepwatch builds of the
+# "honest" deployment. Build 2 re-verifies the unchanged deployment — the
+# appended ledger record must carry the identical trace digest and no
+# drift (idempotence). Build 3 plants SharedScratch behind the unchanged
+# deployment name (-override-leak): the ledger diff must classify exactly
+# one verdict flip and exactly one trace-digest drift, located down to the
+# first divergent event; `sepwatch diff` re-derives the same verdict
+# offline from the chained ledger alone. A final one-cycle serve run
+# exercises the cycle engine end to end. Artifacts land in watch-smoke/
+# for CI upload.
+WATCHFLAGS := -dir watch-smoke/work -seed 7 -trials 3 -steps 50 -tracesteps 120 -log watch-smoke/events.jsonl
+watch-smoke:
+	rm -rf watch-smoke
+	mkdir -p watch-smoke/bin
+	$(GO) build -o watch-smoke/bin/sepwatch ./cmd/sepwatch
+	watch-smoke/bin/sepwatch check $(WATCHFLAGS) -build build1 honest > watch-smoke/build1.txt
+	grep -q 'seq=1 .* PASS' watch-smoke/build1.txt
+	watch-smoke/bin/sepwatch check $(WATCHFLAGS) -build build2 honest > watch-smoke/build2.txt
+	grep -q 'seq=2 .* PASS .* drift=0' watch-smoke/build2.txt
+	grep -o 'digest=[0-9a-f]*' watch-smoke/build1.txt > watch-smoke/digest1.txt
+	grep -o 'digest=[0-9a-f]*' watch-smoke/build2.txt > watch-smoke/digest2.txt
+	diff watch-smoke/digest1.txt watch-smoke/digest2.txt
+	! watch-smoke/bin/sepwatch check $(WATCHFLAGS) -build build3 -override-leak SharedScratch honest > watch-smoke/build3.txt
+	grep -q 'FAIL' watch-smoke/build3.txt
+	test "$$(grep -c 'drift verdict-flip' watch-smoke/build3.txt)" = 1
+	test "$$(grep -c 'drift digest-drift' watch-smoke/build3.txt)" = 1
+	grep -q 'diverges at event' watch-smoke/build3.txt
+	! watch-smoke/bin/sepwatch diff -dir watch-smoke/work -deployment honest > watch-smoke/diff.txt
+	grep -q 'drift verdict-flip' watch-smoke/diff.txt
+	watch-smoke/bin/sepwatch diff -dir watch-smoke/work -deployment honest -a 1 -b 2 > watch-smoke/diff-idempotent.txt
+	grep -q 'no drift' watch-smoke/diff-idempotent.txt
+	watch-smoke/bin/sepwatch history -dir watch-smoke/work > watch-smoke/history.txt
+	grep -q 'honest: 3 builds' watch-smoke/history.txt
+	watch-smoke/bin/sepwatch serve -addr '' -cycles 1 -interval 0s \
+		-dir watch-smoke/serve -seed 7 -trials 3 -steps 50 -tracesteps 120 \
+		-deployments honest,leak-RegisterLeak,toy-secure > watch-smoke/serve.txt
+	grep -q 'cycle 1: 3 deployments, 0 drift, 0 verdict flips, 0 errors' watch-smoke/serve.txt
+	@echo "watch-smoke: idempotent re-verification clean, planted leak classified as verdict flip + digest drift"
+
 # Race-detector pass over the concurrent verification engine, the kernel
 # adapter it replicates, the witness store fed from worker results, and the
 # observability counters they share.
 race:
-	$(GO) test -race ./internal/separability/... ./internal/kernel/... ./internal/witness/... ./internal/obs/...
+	$(GO) test -race ./internal/separability/... ./internal/kernel/... ./internal/witness/... ./internal/obs/... ./internal/watch/...
 
 test:
 	$(GO) test ./...

@@ -14,7 +14,9 @@
 //
 // Observability and fault injection:
 //
-//	sepfleet -listen :9090        # live /metrics: sep_fleet_{shards,done,restarts}_total
+//	sepfleet -listen :9090        # live /metrics: sep_fleet_{shards,done,restarts,units}_total
+//	                              # plus per-shard sep_fleet_shard_frontier{shard="k"} and
+//	                              # sep_fleet_shard_checkpoint_age_seconds{shard="k"} gauges
 //	sepfleet -stall 30s           # SIGKILL+restart a worker whose frontier stalls
 //	sepfleet -kill-once 0@2       # SIGKILL shard 0 once it has folded 2 chunks
 //	sepfleet -throttle 5ms        # slow workers down (demo/test lever)
@@ -136,9 +138,17 @@ func realMain() int {
 		reg:           obs.NewRegistry(),
 		frontiers:     make([]int, *shards),
 	}
+	start := time.Now()
+	f.lastAdvance = make([]time.Time, *shards)
+	f.frontierG = make([]*obs.Gauge, *shards)
+	f.ageG = make([]*obs.Gauge, *shards)
 	for k := 0; k < *shards; k++ {
 		lo, _ := shardChunkRange(k, *shards, nChunks)
 		f.frontiers[k] = lo
+		f.lastAdvance[k] = start
+		f.frontierG[k] = f.reg.Gauge(fmt.Sprintf("sep_fleet_shard_frontier{shard=%q}", strconv.Itoa(k)))
+		f.frontierG[k].Set(float64(lo))
+		f.ageG[k] = f.reg.Gauge(fmt.Sprintf("sep_fleet_shard_checkpoint_age_seconds{shard=%q}", strconv.Itoa(k)))
 	}
 	f.reg.Counter("sep_fleet_shards_total").Add(uint64(*shards))
 	f.restartsCnt = f.reg.Counter("sep_fleet_restarts_total")
@@ -230,9 +240,16 @@ type fleet struct {
 	restartsCnt *obs.Counter
 	doneCnt     *obs.Counter
 	unitsCnt    *obs.Counter
+	// Per-shard gauges: the absolute checkpoint frontier and how long ago
+	// it last advanced. Fleet-wide totals hide a single stalled shard; the
+	// age gauge makes it visible on /metrics before the stall detector
+	// resorts to killing the worker.
+	frontierG []*obs.Gauge
+	ageG      []*obs.Gauge
 
-	mu        sync.Mutex
-	frontiers []int // absolute checkpoint frontier per shard
+	mu          sync.Mutex
+	frontiers   []int // absolute checkpoint frontier per shard
+	lastAdvance []time.Time
 	killShard int   // -1 = no fault injection
 	killAfter int
 	killDone  bool
@@ -337,8 +354,11 @@ func (f *fleet) pollCheckpoint(k int, cmd *exec.Cmd) (advanced bool) {
 	f.mu.Lock()
 	if ck.Frontier > f.frontiers[k] {
 		f.frontiers[k] = ck.Frontier
+		f.lastAdvance[k] = time.Now()
 		advanced = true
 	}
+	f.frontierG[k].Set(float64(f.frontiers[k]))
+	f.ageG[k].Set(time.Since(f.lastAdvance[k]).Seconds())
 	doKill := cmd != nil && k == f.killShard && !f.killDone &&
 		ck.Frontier-ck.StartChunk >= f.killAfter
 	if doKill {
@@ -367,6 +387,9 @@ func (f *fleet) startProgress() (stop func()) {
 		for k, fr := range f.frontiers {
 			lo, _ := shardChunkRange(k, f.shards, f.nChunks)
 			units += uint64(chunkRangeStates(lo, fr, f.chunkSize, f.states)) * uint64(f.unitsPerState)
+			// Keep the age gauge moving even when the worker writes no
+			// checkpoints at all — that is exactly the stall to surface.
+			f.ageG[k].Set(time.Since(f.lastAdvance[k]).Seconds())
 		}
 		f.mu.Unlock()
 		if units > lastUnits {

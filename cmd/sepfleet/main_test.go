@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/separability"
+)
 
 func TestParseKillOnce(t *testing.T) {
 	tests := []struct {
@@ -72,5 +78,55 @@ func TestChunkRangeStates(t *testing.T) {
 	// A shard whose range lies entirely past the states (padding chunks).
 	if got := chunkRangeStates(5, 7, 4, 10); got != 0 {
 		t.Errorf("out-of-range chunk range counted %d states", got)
+	}
+}
+
+// The per-shard gauges must follow a real checkpoint artifact: frontier
+// tracks the folded-chunk position, and the age gauge resets on advance so
+// a stalled shard shows up as a growing age before the stall detector
+// kills it.
+func TestPollCheckpointShardGauges(t *testing.T) {
+	dir := t.TempDir()
+	f := &fleet{
+		shards: 1, dir: dir,
+		reg:         obs.NewRegistry(),
+		frontiers:   []int{0},
+		lastAdvance: []time.Time{time.Now().Add(-time.Hour)},
+		killShard:   -1,
+	}
+	f.frontierG = []*obs.Gauge{f.reg.Gauge(`sep_fleet_shard_frontier{shard="0"}`)}
+	f.ageG = []*obs.Gauge{f.reg.Gauge(`sep_fleet_shard_checkpoint_age_seconds{shard="0"}`)}
+
+	// No checkpoint file yet: nothing advances.
+	if f.pollCheckpoint(0, nil) {
+		t.Fatal("advanced with no checkpoint file")
+	}
+
+	// Write a real (aborted mid-sweep) checkpoint and poll it.
+	sys := separability.NewToySystem(separability.ToySecure)
+	_, err := separability.CheckExhaustiveShard(sys, separability.ExhaustiveOptions{
+		Workers: 1, ChunkSize: 1, CheckpointEvery: 1, AbortAfterChunks: 2,
+		Checkpoint: f.checkpointPath(0), Target: "toy:secure",
+	})
+	if err == nil {
+		t.Fatal("want ErrAborted from the chunk budget")
+	}
+	if !f.pollCheckpoint(0, nil) {
+		t.Fatal("valid checkpoint did not advance the frontier")
+	}
+	if got := f.reg.GaugeValue(`sep_fleet_shard_frontier{shard="0"}`); got < 2 {
+		t.Errorf("frontier gauge = %g, want >= 2", got)
+	}
+	if age := f.reg.GaugeValue(`sep_fleet_shard_checkpoint_age_seconds{shard="0"}`); age > 60 {
+		t.Errorf("age gauge = %gs, want freshly reset", age)
+	}
+
+	// Re-polling the same checkpoint is not an advance; age keeps growing.
+	f.lastAdvance[0] = time.Now().Add(-30 * time.Second)
+	if f.pollCheckpoint(0, nil) {
+		t.Error("unchanged checkpoint counted as advance")
+	}
+	if age := f.reg.GaugeValue(`sep_fleet_shard_checkpoint_age_seconds{shard="0"}`); age < 29 {
+		t.Errorf("age gauge = %gs, want ~30s for a stalled shard", age)
 	}
 }

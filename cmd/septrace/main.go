@@ -7,11 +7,13 @@
 //	    regime could itself observe, restamped onto its own virtual
 //	    clock, with a canonical digest per regime.
 //
-//	septrace diff a.jsonl b.jsonl
+//	septrace diff [-format text|json] a.jsonl b.jsonl
 //	    compare per-regime projections across two traces (the same
 //	    workload under distsys's Physical and KernelHosted deployments,
 //	    or two kernel builds). Exits 1 with a first-divergence report if
-//	    any regime can tell the runs apart.
+//	    any regime can tell the runs apart. -format json emits the same
+//	    report as machine-readable JSON (hex digests, divergence index),
+//	    for sepwatch and external drift tooling.
 //
 //	septrace covert -seed 11 -nbits 64 -threshold 40 trace.jsonl
 //	    measure the scheduling covert channel toward a receiver regime
@@ -25,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -61,7 +64,7 @@ func run(args []string, stdin io.Reader, out, errw io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   septrace project [-regime N] trace.jsonl
-  septrace diff a.jsonl b.jsonl
+  septrace diff [-format text|json] a.jsonl b.jsonl
   septrace covert [-regime N] [-seed S] [-nbits N] [-threshold T] [-maxoff K] [-chan C] trace.jsonl
 a trace path of "-" reads stdin
 `)
@@ -121,7 +124,12 @@ func cmdProject(args []string, stdin io.Reader, out, errw io.Writer) int {
 func cmdDiff(args []string, stdin io.Reader, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("septrace diff", flag.ContinueOnError)
 	fs.SetOutput(errw)
+	format := fs.String("format", "text", "report format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(errw, "septrace diff: unknown -format %q (want text or json)\n", *format)
 		return 2
 	}
 	if fs.NArg() != 2 {
@@ -136,18 +144,41 @@ func cmdDiff(args []string, stdin io.Reader, out, errw io.Writer) int {
 	if !ok {
 		return 2
 	}
+	diffs := analyze.DiffAll(a, b)
 	diverged := false
-	for _, d := range analyze.DiffAll(a, b) {
-		fmt.Fprintln(out, d)
+	for _, d := range diffs {
 		if !d.Equal {
 			diverged = true
 		}
 	}
+	if *format == "json" {
+		verdict := "indistinguishable"
+		if diverged {
+			verdict = "DISTINGUISHABLE"
+		}
+		report := struct {
+			Verdict string               `json:"verdict"`
+			Regimes []analyze.DiffRecord `json:"regimes"`
+		}{Verdict: verdict, Regimes: analyze.Records(diffs)}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(errw, "septrace diff:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diffs {
+			fmt.Fprintln(out, d)
+		}
+		if diverged {
+			fmt.Fprintln(out, "verdict: DISTINGUISHABLE")
+		} else {
+			fmt.Fprintln(out, "verdict: indistinguishable")
+		}
+	}
 	if diverged {
-		fmt.Fprintln(out, "verdict: DISTINGUISHABLE")
 		return 1
 	}
-	fmt.Fprintln(out, "verdict: indistinguishable")
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -137,6 +138,63 @@ func TestGoldenDiffLeaky(t *testing.T) {
 	if !strings.Contains(out, "verdict: DISTINGUISHABLE") {
 		t.Errorf("missing verdict:\n%s", out)
 	}
+}
+
+// -format json renders the same verdicts machine-readably: golden-tested
+// alongside the text output, and structurally checked so sepwatch-style
+// consumers can rely on the schema.
+func TestGoldenDiffJSON(t *testing.T) {
+	regen(t)
+	honest := runCLI(t, 0, "", "diff", "-format", "json",
+		td("fabric_physical.jsonl"), td("fabric_kernelhosted.jsonl"))
+	golden(t, "diff_honest_json", honest)
+	leaky := runCLI(t, 1, "", "diff", "-format", "json",
+		td("fabric_physical.jsonl"), td("fabric_leaky.jsonl"))
+	golden(t, "diff_leaky_json", leaky)
+
+	var report struct {
+		Verdict string `json:"verdict"`
+		Regimes []struct {
+			Regime    int    `json:"regime"`
+			Equal     bool   `json:"equal"`
+			ADigest   string `json:"aDigest"`
+			BDigest   string `json:"bDigest"`
+			DivergeAt int    `json:"divergeAt"`
+			A         string `json:"a"`
+			B         string `json:"b"`
+		} `json:"regimes"`
+	}
+	if err := json.Unmarshal([]byte(honest), &report); err != nil {
+		t.Fatalf("honest JSON: %v\n%s", err, honest)
+	}
+	if report.Verdict != "indistinguishable" {
+		t.Errorf("honest verdict = %q", report.Verdict)
+	}
+	for _, r := range report.Regimes {
+		if !r.Equal || r.ADigest != r.BDigest || r.DivergeAt != -1 {
+			t.Errorf("honest regime diverges in JSON: %+v", r)
+		}
+	}
+	if err := json.Unmarshal([]byte(leaky), &report); err != nil {
+		t.Fatalf("leaky JSON: %v\n%s", err, leaky)
+	}
+	if report.Verdict != "DISTINGUISHABLE" {
+		t.Errorf("leaky verdict = %q", report.Verdict)
+	}
+	found := false
+	for _, r := range report.Regimes {
+		if r.Regime == 1 {
+			found = true
+			if r.Equal || r.DivergeAt != 12 || r.ADigest == r.BDigest || r.A == "" || r.B == "" {
+				t.Errorf("leak divergence not machine-readable: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("regime 1 missing from JSON report")
+	}
+	runCLI(t, 2, "", "diff", "-format", "bogus",
+		td("fabric_physical.jsonl"), td("fabric_leaky.jsonl"))
 }
 
 var capRe = regexp.MustCompile(`cap=([0-9.]+)`)

@@ -201,6 +201,41 @@ func (d DiffResult) String() string {
 	return s + fmt.Sprintf("\n  a[%d]: %s\n  b[%d]: %s", d.DivergeAt, a, d.DivergeAt, b)
 }
 
+// DiffRecord is the stable JSON codec form of a DiffResult, for
+// machine-readable drift reports (`septrace diff -format json`, the
+// sepwatch drift ledger). Digests are rendered as 16-digit hex so the JSON
+// round-trips without precision loss; DivergeAt is -1 for identical views.
+type DiffRecord struct {
+	Regime    int    `json:"regime"`
+	Equal     bool   `json:"equal"`
+	ALen      int    `json:"aLen"`
+	BLen      int    `json:"bLen"`
+	ADigest   string `json:"aDigest"`
+	BDigest   string `json:"bDigest"`
+	DivergeAt int    `json:"divergeAt"`
+	A         string `json:"a,omitempty"`
+	B         string `json:"b,omitempty"`
+}
+
+// Record converts the result to its codec form.
+func (d DiffResult) Record() DiffRecord {
+	return DiffRecord{
+		Regime: d.Regime, Equal: d.Equal,
+		ALen: d.ALen, BLen: d.BLen,
+		ADigest: fmt.Sprintf("%016x", d.ADigest), BDigest: fmt.Sprintf("%016x", d.BDigest),
+		DivergeAt: d.DivergeAt, A: d.A, B: d.B,
+	}
+}
+
+// Records converts a DiffAll result set to codec form.
+func Records(ds []DiffResult) []DiffRecord {
+	out := make([]DiffRecord, len(ds))
+	for i, d := range ds {
+		out[i] = d.Record()
+	}
+	return out
+}
+
 // Diff compares two projections of the same regime.
 func Diff(a, b Projection) DiffResult {
 	d := DiffResult{

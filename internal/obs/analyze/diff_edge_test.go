@@ -1,0 +1,142 @@
+package analyze_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// A regime present in only one trace must still be diffed — an empty view
+// on the other side — rather than silently skipped: a deployment losing a
+// regime IS drift.
+func TestDiffAllRegimeInOneTraceOnly(t *testing.T) {
+	a := []obs.Event{
+		ev(1, obs.EvSyscallEnter, 0),
+		ev(2, obs.EvSyscallEnter, 2),
+	}
+	b := []obs.Event{
+		ev(1, obs.EvSyscallEnter, 0),
+	}
+	ds := analyze.DiffAll(a, b)
+	if len(ds) != 2 {
+		t.Fatalf("got %d diffs, want 2 (regimes 0 and 2): %+v", len(ds), ds)
+	}
+	if !ds[0].Equal || ds[0].Regime != 0 {
+		t.Errorf("regime 0 should be identical: %+v", ds[0])
+	}
+	d := ds[1]
+	if d.Regime != 2 || d.Equal {
+		t.Fatalf("regime 2 should diverge: %+v", d)
+	}
+	if d.DivergeAt != 0 || d.ALen != 1 || d.BLen != 0 {
+		t.Errorf("divergence shape wrong: %+v", d)
+	}
+	if d.A == "" || d.B != "" {
+		t.Errorf("want a-side event and empty b-side, got a=%q b=%q", d.A, d.B)
+	}
+
+	// And symmetrically for a regime only in b.
+	ds = analyze.DiffAll(b, a)
+	if len(ds) != 2 || ds[1].Equal || ds[1].B == "" || ds[1].A != "" {
+		t.Errorf("b-only regime not reported: %+v", ds)
+	}
+}
+
+// b-only regimes above a's maximum arrive out of order from the union; the
+// result must still be sorted by regime.
+func TestDiffAllRegimeOrderWithDisjointSets(t *testing.T) {
+	a := []obs.Event{ev(1, obs.EvSyscallEnter, 1), ev(2, obs.EvSyscallEnter, 5)}
+	b := []obs.Event{ev(1, obs.EvSyscallEnter, 0), ev(2, obs.EvSyscallEnter, 3)}
+	ds := analyze.DiffAll(a, b)
+	want := []int{0, 1, 3, 5}
+	if len(ds) != len(want) {
+		t.Fatalf("got %d diffs, want %d", len(ds), len(want))
+	}
+	for i, d := range ds {
+		if d.Regime != want[i] {
+			t.Errorf("diff[%d].Regime = %d, want %d", i, d.Regime, want[i])
+		}
+		if d.Equal {
+			t.Errorf("regime %d appears in one trace only but reads Equal", d.Regime)
+		}
+	}
+}
+
+// Two empty traces are indistinguishable by definition and must not panic
+// or fabricate regimes.
+func TestDiffAllEmptyTraces(t *testing.T) {
+	if ds := analyze.DiffAll(nil, nil); len(ds) != 0 {
+		t.Fatalf("empty vs empty yields diffs: %+v", ds)
+	}
+	// Empty vs non-empty: every regime of the non-empty side diverges at 0.
+	b := []obs.Event{ev(1, obs.EvChanSend, 0)}
+	ds := analyze.DiffAll(nil, b)
+	if len(ds) != 1 || ds[0].Equal || ds[0].DivergeAt != 0 {
+		t.Fatalf("empty vs populated: %+v", ds)
+	}
+	// A trace whose events are all unobservable (pure context switches)
+	// still registers its regimes, with empty equal views.
+	onlySwitches := []obs.Event{sw(1, 0, -1), sw(5, 1, 0)}
+	ds = analyze.DiffAll(onlySwitches, onlySwitches)
+	if len(ds) != 2 {
+		t.Fatalf("switch-only trace regimes: %+v", ds)
+	}
+	for _, d := range ds {
+		if !d.Equal || d.ALen != 0 {
+			t.Errorf("switch-only projection should be empty and equal: %+v", d)
+		}
+	}
+}
+
+// Equal digests with differing event counts must NOT read as equal: the
+// digest contract is "equal digests plus equal lengths mean equal views",
+// and Diff must pin the divergence at the shorter view's end. (A real
+// digest collision needs 2^64 luck; the projections are hand-built here.)
+func TestDiffDigestEqualLengthDiffering(t *testing.T) {
+	shared := ev(1, obs.EvSyscallEnter, 0)
+	extra := ev(2, obs.EvSyscallEnter, 0)
+	a := analyze.Projection{Regime: 0, Events: []obs.Event{shared}}
+	b := analyze.Projection{Regime: 0, Events: []obs.Event{shared, extra}}
+	// Forge digest equality; lengths still differ.
+	a.Digest, b.Digest = 0xdeadbeef, 0xdeadbeef
+	d := analyze.Diff(a, b)
+	if d.Equal {
+		t.Fatalf("digest-equal but count-differing projections read Equal: %+v", d)
+	}
+	if d.DivergeAt != 1 {
+		t.Errorf("DivergeAt = %d, want 1 (end of shorter view)", d.DivergeAt)
+	}
+	if d.A != "" || d.B == "" {
+		t.Errorf("want <view ended> on a-side only: a=%q b=%q", d.A, d.B)
+	}
+	if d.ALen != 1 || d.BLen != 2 {
+		t.Errorf("lengths %d/%d, want 1/2", d.ALen, d.BLen)
+	}
+}
+
+// The codec form round-trips through encoding/json with hex digests and
+// preserves the -1 DivergeAt sentinel for identical views.
+func TestDiffRecordJSON(t *testing.T) {
+	a := []obs.Event{ev(1, obs.EvSyscallEnter, 0)}
+	recs := analyze.Records(analyze.DiffAll(a, a))
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if !r.Equal || r.DivergeAt != -1 || len(r.ADigest) != 16 || r.ADigest != r.BDigest {
+		t.Fatalf("identical-view record wrong: %+v", r)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back analyze.DiffRecord
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip changed record: %+v vs %+v", back, r)
+	}
+}

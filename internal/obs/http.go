@@ -37,6 +37,11 @@ type ListenOptions struct {
 	// (go tool pprof http://ADDR/debug/pprof/profile) instead of only via
 	// -cpuprofile files written at exit.
 	Pprof bool
+	// Handlers mounts additional endpoints on the same listener, keyed by
+	// pattern ("/status"). /metrics always serves the registry; a Handlers
+	// entry for "/metrics" is ignored. Long-running services (sepwatch)
+	// use this to co-host their status JSON with the metrics scrape.
+	Handlers map[string]http.Handler
 }
 
 // ListenMetrics exposes the registry at /metrics on addr (use host:0 for an
@@ -54,6 +59,12 @@ func ListenMetricsOpts(addr string, r *Registry, opt ListenOptions) (bound strin
 		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
+	for pattern, h := range opt.Handlers {
+		if pattern == "/metrics" {
+			continue
+		}
+		mux.Handle(pattern, h)
+	}
 	mux.Handle("/metrics", MetricsHandler(r))
 	if opt.Pprof {
 		// The pprof package registers only on http.DefaultServeMux; wire

@@ -24,6 +24,19 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is a settable instantaneous value (Prometheus gauge semantics):
+// unlike a Counter it can move in both directions, for quantities like a
+// checkpoint frontier, a ledger's age in seconds or a deployment's last
+// verdict. The value is a float64 held as atomic bits; the zero value is
+// ready to use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket cumulative histogram (Prometheus "le"
 // semantics: bucket i counts observations <= bounds[i], with an implicit
 // +Inf bucket). All mutation is atomic; Observe never allocates.
@@ -67,14 +80,16 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // the brace syntax and keep output sorted by name, so equal registries
 // export byte-identical text.
 type Registry struct {
-	mu    sync.RWMutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{ctrs: map[string]*Counter{}, gauges: map[string]*Gauge{},
+		hists: map[string]*Histogram{}}
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -93,6 +108,52 @@ func (r *Registry) Counter(name string) *Counter {
 		r.ctrs[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeValue reads a gauge by name without creating it (0 if absent).
+func (r *Registry) GaugeValue(name string) float64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return g.Value()
+}
+
+// GaugeValue is one snapshotted gauge (name, value).
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// Gauges snapshots every registered gauge, sorted by name.
+func (r *Registry) Gauges() []GaugeValue {
+	r.mu.RLock()
+	out := make([]GaugeValue, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		out = append(out, GaugeValue{Name: n, Value: g.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -174,6 +235,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, gv := range r.Gauges() {
+		if _, err := fmt.Fprintf(w, "%s %g\n", gv.Name, gv.Value); err != nil {
+			return err
+		}
+	}
 	r.mu.RLock()
 	names := make([]string, 0, len(r.hists))
 	for n := range r.hists {
@@ -211,6 +277,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // WriteJSON exports the registry as a single JSON object:
 //
 //	{"counters":{name:value,...},
+//	 "gauges":{name:value,...},
 //	 "histograms":{name:{"count":n,"sum":s,"buckets":{"le":n,...}},...}}
 //
 // sorted by name (hand-rendered so the output is deterministic).
@@ -224,6 +291,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		b = strconv.AppendQuote(b, cv.Name)
 		b = append(b, ':')
 		b = strconv.AppendUint(b, cv.Value, 10)
+	}
+	b = append(b, `},"gauges":{`...)
+	for i, gv := range r.Gauges() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, gv.Name)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, gv.Value, 'g', -1, 64)
 	}
 	b = append(b, `},"histograms":{`...)
 	r.mu.RLock()

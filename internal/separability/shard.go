@@ -454,14 +454,21 @@ func resultRecords(rs []*Result) []*ResultRecord {
 	return out
 }
 
+// NewViolationRecord converts one Violation to its stable codec form, for
+// artifact stores outside this package (the sepwatch build ledger records
+// the violations behind each FAIL verdict this way).
+func NewViolationRecord(v Violation) ViolationRecord {
+	return ViolationRecord{
+		Condition: int(v.Condition), Colour: string(v.Colour), Op: string(v.Op),
+		Detail: v.Detail, Trial: v.Trial, Step: v.Step,
+		Want: fmt.Sprintf("%016x", v.Want), Got: fmt.Sprintf("%016x", v.Got),
+	}
+}
+
 func resultRecord(r *Result) *ResultRecord {
 	rr := &ResultRecord{States: r.States}
 	for _, v := range r.Violations {
-		rr.Violations = append(rr.Violations, ViolationRecord{
-			Condition: int(v.Condition), Colour: string(v.Colour), Op: string(v.Op),
-			Detail: v.Detail, Trial: v.Trial, Step: v.Step,
-			Want: fmt.Sprintf("%016x", v.Want), Got: fmt.Sprintf("%016x", v.Got),
-		})
+		rr.Violations = append(rr.Violations, NewViolationRecord(v))
 	}
 	if len(r.Checks) > 0 {
 		rr.Checks = make(map[string]int, len(r.Checks))

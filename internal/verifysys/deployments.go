@@ -1,0 +1,61 @@
+package verifysys
+
+import (
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/witness"
+)
+
+// A NamedSpec is one named deployment of the standard verification system:
+// a kernel configuration (leak set, channel cut) under a stable name, with
+// the verdict verification is expected to reach. The registry is the
+// fleet's vocabulary for continuous re-verification — sepwatch re-verifies
+// each named deployment every cycle and appends the outcome to that
+// deployment's build ledger, so a configuration that silently changes
+// between builds surfaces as drift against its own history.
+//
+// Names are filesystem-safe (no ':', unlike exhaustive target names)
+// because each deployment owns a ledger directory.
+type NamedSpec struct {
+	// Name is the stable deployment identifier ("honest", "honest-uncut",
+	// "leak-RegisterLeak", ...).
+	Name string
+	// Spec rebuilds the system via FromSpec.
+	Spec witness.SystemSpec
+	// Secure is the expected verification verdict: an honest deployment
+	// that fails is a rollout failure, and a planted-leak deployment that
+	// passes is a detection failure — both alarming.
+	Secure bool
+}
+
+// DeploymentSpecs returns the registered deployments, sorted by name: the
+// honest kernel as deployed (channels cut — the configuration that passes
+// isolation checking), the honest kernel with its channels left uncut (the
+// configured worker<->probe flows register as violations, so its expected
+// verdict is insecure — the paper's motivation for the cutting
+// transformation), and one planted-leak variant per kernel.AllLeaks entry,
+// each with channels cut so the only expected flows are the leak's own.
+func DeploymentSpecs() []NamedSpec {
+	out := []NamedSpec{
+		{Name: "honest", Spec: SpecFor("", true, false), Secure: true},
+		{Name: "honest-uncut", Spec: SpecFor("", false, false), Secure: false},
+	}
+	for name := range kernel.AllLeaks() {
+		out = append(out, NamedSpec{
+			Name: "leak-" + name, Spec: SpecFor(name, true, false), Secure: false,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindDeployment resolves a deployment name.
+func FindDeployment(name string) (NamedSpec, bool) {
+	for _, d := range DeploymentSpecs() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return NamedSpec{}, false
+}

@@ -1,0 +1,52 @@
+package verifysys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestDeploymentSpecsRegistry(t *testing.T) {
+	ds := DeploymentSpecs()
+	if len(ds) != 2+len(kernel.AllLeaks()) {
+		t.Fatalf("registry has %d deployments, want %d", len(ds), 2+len(kernel.AllLeaks()))
+	}
+	seen := map[string]bool{}
+	for i, d := range ds {
+		if i > 0 && ds[i-1].Name >= d.Name {
+			t.Errorf("registry unsorted at %q >= %q", ds[i-1].Name, d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate deployment %q", d.Name)
+		}
+		seen[d.Name] = true
+		if strings.ContainsAny(d.Name, ":/ ") {
+			t.Errorf("deployment name %q is not filesystem-safe", d.Name)
+		}
+		// Only the deployed (cut) honest configuration is expected to pass:
+		// the uncut variant's configured channels register as flows, and
+		// every leak variant must be caught.
+		if wantSecure := d.Name == "honest"; d.Secure != wantSecure {
+			t.Errorf("deployment %q Secure = %v", d.Name, d.Secure)
+		}
+		if d.Name != "honest-uncut" && !d.Spec.Cut {
+			t.Errorf("deployment %q should cut its channels", d.Name)
+		}
+		// Every spec must actually rebuild.
+		sys, err := FromSpec(d.Spec)
+		if err != nil {
+			t.Errorf("deployment %q does not build: %v", d.Name, err)
+			continue
+		}
+		if sys == nil {
+			t.Errorf("deployment %q built nil system", d.Name)
+		}
+	}
+	if _, ok := FindDeployment("honest"); !ok {
+		t.Error("FindDeployment(honest) missing")
+	}
+	if _, ok := FindDeployment("nope"); ok {
+		t.Error("FindDeployment(nope) found something")
+	}
+}

@@ -1,0 +1,171 @@
+package watch
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// ClassifyDrift compares a deployment's new build record against its
+// predecessor and classifies every difference that matters, most alarming
+// first:
+//
+//   - verdict-flip: the verification verdict changed (PASS<->FAIL). A flip
+//     to FAIL means the deployment silently changed into something the
+//     checker can refute; a flip to PASS on a deployment expected to fail
+//     means detection itself regressed.
+//
+//   - digest-drift: the combined Φ^c trace digest changed — at least one
+//     regime's view of the deployment differs from the previous build.
+//     Exactly one entry is emitted, anchored at the earliest-diverging
+//     regime (smallest first-divergence index; ties to the smallest regime
+//     number) with the first divergent event located via analyze.DiffAll
+//     when both trace blobs are available (DivergeAt -1 otherwise).
+//
+//   - channel-regression: a sanctioned channel carried traffic in exactly
+//     one of the two builds — cut (or un-cut) between builds. Mere traffic
+//     count changes are already digest drift; appearance/disappearance is
+//     the cut-channel regression worth naming.
+//
+// A nil prev (first build of a deployment) classifies as no drift: there
+// is no baseline to drift from.
+func ClassifyDrift(prev, cur *Record, prevTrace, curTrace []obs.Event) []Drift {
+	if prev == nil {
+		return nil
+	}
+	var out []Drift
+
+	if prev.Passed != cur.Passed {
+		out = append(out, Drift{
+			Kind: DriftVerdictFlip, Regime: -1, DivergeAt: -1,
+			Detail: fmt.Sprintf("verification verdict flipped %s -> %s (build %s -> %s)",
+				verdict(prev.Passed), verdict(cur.Passed), prev.Build, cur.Build),
+		})
+	}
+
+	if prev.TraceDigest != cur.TraceDigest {
+		out = append(out, digestDrift(prev, cur, prevTrace, curTrace))
+	}
+
+	out = append(out, channelRegressions(prev, cur)...)
+	return out
+}
+
+func verdict(passed bool) string {
+	if passed {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// digestDrift builds the single digest-drift entry, located down to the
+// first divergent event when both traces are on hand.
+func digestDrift(prev, cur *Record, prevTrace, curTrace []obs.Event) Drift {
+	d := Drift{Kind: DriftDigest, Regime: -1, DivergeAt: -1,
+		Detail: fmt.Sprintf("trace digest %s -> %s", prev.TraceDigest, cur.TraceDigest)}
+	if prevTrace == nil || curTrace == nil {
+		// No blobs to compare event-by-event; fall back to naming the first
+		// regime whose recorded digest differs.
+		if r, ok := firstDigestMismatch(prev.Regimes, cur.Regimes); ok {
+			d.Regime = r
+			d.Detail += fmt.Sprintf(" (first differing regime %d; traces unavailable)", r)
+		}
+		return d
+	}
+	best := analyze.DiffResult{DivergeAt: -1}
+	for _, dr := range analyze.DiffAll(prevTrace, curTrace) {
+		if dr.Equal {
+			continue
+		}
+		if best.DivergeAt == -1 || dr.DivergeAt < best.DivergeAt ||
+			(dr.DivergeAt == best.DivergeAt && dr.Regime < best.Regime) {
+			best = dr
+		}
+	}
+	if best.DivergeAt == -1 {
+		// Digest changed but every per-regime projection matches: the drift
+		// lives outside any regime's view (kernel-internal events only).
+		d.Detail += " (no regime-observable divergence)"
+		return d
+	}
+	d.Regime, d.DivergeAt = best.Regime, best.DivergeAt
+	a, b := best.A, best.B
+	if a == "" {
+		a = "<view ended>"
+	}
+	if b == "" {
+		b = "<view ended>"
+	}
+	d.Detail += fmt.Sprintf("; regime %d diverges at event %d: prev %s, now %s",
+		best.Regime, best.DivergeAt, a, b)
+	return d
+}
+
+// firstDigestMismatch scans two recorded regime-digest lists for the first
+// regime (by number) present in both with differing digests, or present in
+// only one.
+func firstDigestMismatch(a, b []RegimeDigest) (int, bool) {
+	am := map[int]string{}
+	for _, rd := range a {
+		am[rd.Regime] = rd.Digest
+	}
+	bm := map[int]string{}
+	for _, rd := range b {
+		bm[rd.Regime] = rd.Digest
+	}
+	best, found := 0, false
+	take := func(r int) {
+		if !found || r < best {
+			best, found = r, true
+		}
+	}
+	for r, ad := range am {
+		if bd, ok := bm[r]; !ok || bd != ad {
+			take(r)
+		}
+	}
+	for r := range bm {
+		if _, ok := am[r]; !ok {
+			take(r)
+		}
+	}
+	return best, found
+}
+
+// channelRegressions reports channels whose traffic exists in exactly one
+// of the two builds.
+func channelRegressions(prev, cur *Record) []Drift {
+	type traffic struct{ sends, recvs int }
+	pm := map[int]traffic{}
+	for _, cs := range prev.Channels {
+		pm[cs.Channel] = traffic{cs.Sends, cs.Recvs}
+	}
+	cm := map[int]traffic{}
+	for _, cs := range cur.Channels {
+		cm[cs.Channel] = traffic{cs.Sends, cs.Recvs}
+	}
+	var out []Drift
+	seen := map[int]bool{}
+	for _, cs := range append(append([]ChannelStat{}, prev.Channels...), cur.Channels...) {
+		ch := cs.Channel
+		if seen[ch] {
+			continue
+		}
+		seen[ch] = true
+		p, c := pm[ch], cm[ch]
+		pLive := p.sends+p.recvs > 0
+		cLive := c.sends+c.recvs > 0
+		switch {
+		case pLive && !cLive:
+			out = append(out, Drift{Kind: DriftChannel, Regime: -1, DivergeAt: -1,
+				Detail: fmt.Sprintf("channel %d traffic disappeared (was %d sends/%d recvs): channel cut or starved",
+					ch, p.sends, p.recvs)})
+		case !pLive && cLive:
+			out = append(out, Drift{Kind: DriftChannel, Regime: -1, DivergeAt: -1,
+				Detail: fmt.Sprintf("channel %d traffic appeared (%d sends/%d recvs): previously cut channel now carries data",
+					ch, c.sends, c.recvs)})
+		}
+	}
+	return out
+}

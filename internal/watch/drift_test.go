@@ -1,0 +1,172 @@
+package watch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func tev(cycle uint64, kind obs.EventKind, regime, arg int, value uint64) obs.Event {
+	return obs.Event{Cycle: cycle, Kind: kind, Regime: regime, Arg: arg, Value: value}
+}
+
+func recWithDigest(passed bool, digest string, regimes []RegimeDigest, chans []ChannelStat) *Record {
+	return &Record{Passed: passed, TraceDigest: digest, Regimes: regimes, Channels: chans,
+		Build: BuildInfo{GoVersion: "go1.test"}}
+}
+
+func TestClassifyDriftFirstBuildIsBaseline(t *testing.T) {
+	if d := ClassifyDrift(nil, recWithDigest(true, "cbf29ce484222325", nil, nil), nil, nil); d != nil {
+		t.Fatalf("first build classified as drift: %v", d)
+	}
+}
+
+func TestClassifyDriftIdenticalBuilds(t *testing.T) {
+	trace := []obs.Event{tev(0, obs.EvSyscallEnter, 0, 1, 0)}
+	regs, digest := RegimeDigests(trace)
+	prev := recWithDigest(true, digest, regs, ChannelStats(trace))
+	cur := recWithDigest(true, digest, regs, ChannelStats(trace))
+	if d := ClassifyDrift(prev, cur, trace, trace); len(d) != 0 {
+		t.Fatalf("identical builds drifted: %v", d)
+	}
+}
+
+func TestClassifyDriftVerdictFlip(t *testing.T) {
+	prev := recWithDigest(true, "cbf29ce484222325", nil, nil)
+	cur := recWithDigest(false, "cbf29ce484222325", nil, nil)
+	ds := ClassifyDrift(prev, cur, nil, nil)
+	if len(ds) != 1 || ds[0].Kind != DriftVerdictFlip {
+		t.Fatalf("drift = %v, want one verdict flip", ds)
+	}
+	if !strings.Contains(ds[0].Detail, "PASS -> FAIL") {
+		t.Errorf("flip direction missing: %s", ds[0].Detail)
+	}
+}
+
+// The digest-drift entry is singular and anchored at the earliest
+// divergent event across regimes, with the divergent event pair rendered.
+func TestClassifyDriftDigestLocatesFirstDivergence(t *testing.T) {
+	prevTrace := []obs.Event{
+		tev(0, obs.EvSyscallExit, 0, 1, 10),
+		tev(1, obs.EvSyscallExit, 1, 2, 20),
+		tev(2, obs.EvSyscallExit, 1, 2, 21),
+	}
+	// Regime 1 diverges at its event 1; regime 0 is untouched.
+	curTrace := []obs.Event{
+		tev(0, obs.EvSyscallExit, 0, 1, 10),
+		tev(1, obs.EvSyscallExit, 1, 2, 20),
+		tev(2, obs.EvSyscallExit, 1, 2, 99),
+	}
+	pr, pd := RegimeDigests(prevTrace)
+	cr, cd := RegimeDigests(curTrace)
+	if pd == cd {
+		t.Fatal("test traces should differ")
+	}
+	ds := ClassifyDrift(recWithDigest(true, pd, pr, nil), recWithDigest(true, cd, cr, nil),
+		prevTrace, curTrace)
+	if len(ds) != 1 {
+		t.Fatalf("drift = %v, want exactly one digest-drift entry", ds)
+	}
+	d := ds[0]
+	if d.Kind != DriftDigest || d.Regime != 1 || d.DivergeAt != 1 {
+		t.Fatalf("digest drift anchored at regime %d event %d: %+v", d.Regime, d.DivergeAt, d)
+	}
+	if !strings.Contains(d.Detail, pd+" -> "+cd) {
+		t.Errorf("digests missing from detail: %s", d.Detail)
+	}
+	if !strings.Contains(d.Detail, "prev ") || !strings.Contains(d.Detail, "now ") {
+		t.Errorf("divergent event pair missing from detail: %s", d.Detail)
+	}
+}
+
+// Without trace blobs the entry degrades to the recorded per-regime
+// digests: regime located, DivergeAt unknown.
+func TestClassifyDriftDigestWithoutTraces(t *testing.T) {
+	prev := recWithDigest(true, "0000000000000001",
+		[]RegimeDigest{{Regime: 0, Events: 3, Digest: "aaaaaaaaaaaaaaaa"},
+			{Regime: 2, Events: 4, Digest: "bbbbbbbbbbbbbbbb"}}, nil)
+	cur := recWithDigest(true, "0000000000000002",
+		[]RegimeDigest{{Regime: 0, Events: 3, Digest: "aaaaaaaaaaaaaaaa"},
+			{Regime: 2, Events: 4, Digest: "cccccccccccccccc"}}, nil)
+	ds := ClassifyDrift(prev, cur, nil, nil)
+	if len(ds) != 1 || ds[0].Kind != DriftDigest {
+		t.Fatalf("drift = %v", ds)
+	}
+	if ds[0].Regime != 2 || ds[0].DivergeAt != -1 {
+		t.Fatalf("fallback anchored at regime %d event %d", ds[0].Regime, ds[0].DivergeAt)
+	}
+}
+
+func TestClassifyDriftChannelRegression(t *testing.T) {
+	prev := recWithDigest(true, "0000000000000001", nil,
+		[]ChannelStat{{Channel: 0, Sends: 5, Recvs: 5}, {Channel: 1, Sends: 3, Recvs: 2}})
+	cur := recWithDigest(true, "0000000000000002", nil,
+		[]ChannelStat{{Channel: 0, Sends: 7, Recvs: 6}})
+	ds := ClassifyDrift(prev, cur, nil, nil)
+	var chans []Drift
+	for _, d := range ds {
+		if d.Kind == DriftChannel {
+			chans = append(chans, d)
+		}
+	}
+	if len(chans) != 1 || !strings.Contains(chans[0].Detail, "channel 1 traffic disappeared") {
+		t.Fatalf("channel regression = %v", chans)
+	}
+
+	// The reverse direction: a cut channel coming back to life.
+	ds = ClassifyDrift(cur, prev, nil, nil)
+	found := false
+	for _, d := range ds {
+		if d.Kind == DriftChannel && strings.Contains(d.Detail, "channel 1 traffic appeared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reappearing channel not classified: %v", ds)
+	}
+
+	// Count changes alone (channel 0: 5/5 -> 7/6) are digest drift, not a
+	// channel regression.
+	for _, d := range ds {
+		if d.Kind == DriftChannel && strings.Contains(d.Detail, "channel 0") {
+			t.Errorf("count-only change misclassified as regression: %v", d)
+		}
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	trace := []obs.Event{
+		tev(0, obs.EvChanSend, 0, 1, 7),
+		tev(1, obs.EvChanRecv, 2, 1, 7),
+		tev(2, obs.EvChanSend, 0, 0, 9),
+		tev(3, obs.EvSyscallEnter, 0, 0, 0), // not channel traffic
+	}
+	got := ChannelStats(trace)
+	want := []ChannelStat{{Channel: 0, Sends: 1}, {Channel: 1, Sends: 1, Recvs: 1}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ChannelStats = %+v, want %+v", got, want)
+	}
+}
+
+// The combined digest is order-stable and sensitive to regime membership,
+// projection length and content.
+func TestRegimeDigestsCombined(t *testing.T) {
+	a := []obs.Event{tev(0, obs.EvSyscallEnter, 0, 1, 0), tev(1, obs.EvSyscallEnter, 1, 1, 0)}
+	b := []obs.Event{tev(0, obs.EvSyscallEnter, 0, 1, 0)}
+	ra, da := RegimeDigests(a)
+	rb, db := RegimeDigests(b)
+	if len(ra) != 2 || len(rb) != 1 {
+		t.Fatalf("regime sets: %d, %d", len(ra), len(rb))
+	}
+	if da == db {
+		t.Error("regime membership change did not move the combined digest")
+	}
+	if _, empty := RegimeDigests(nil); len(empty) != 16 {
+		t.Errorf("empty-trace digest %q is not 16 hex digits", empty)
+	}
+	ra2, da2 := RegimeDigests(a)
+	if da != da2 || len(ra2) != len(ra) {
+		t.Error("RegimeDigests not deterministic")
+	}
+}

@@ -1,0 +1,409 @@
+package watch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"repro/internal/obs"
+	"repro/internal/separability"
+	"repro/internal/witness"
+)
+
+// The on-disk layout of a watch directory mirrors the witness store:
+//
+//	<dir>/<deployment>/ledger.jsonl   — one canonical JSON Record per line
+//	<dir>/<deployment>/blobs/<sha256> — JSONL trace blobs, content-addressed
+//
+// Records are content-addressed (ID = truncated SHA-256 of the record with
+// its ID blanked) and hash-chained (each record pins its predecessor's ID),
+// so the decoder is tamper-evident twice over: editing any line breaks its
+// own ID, and deleting or reordering lines breaks the chain.
+
+const (
+	// LedgerSchemaVersion versions the build-record schema.
+	LedgerSchemaVersion = 1
+	// KindBuildRecord discriminates ledger records from the other
+	// content-addressed artifacts in this repository (witnesses, shard
+	// results, checkpoints), which share the same conventions.
+	KindBuildRecord = "build-record"
+
+	ledgerName = "ledger.jsonl"
+	blobsDir   = "blobs"
+	// maxLedgerLine bounds one record; a line is metadata plus a few
+	// violation records, far below this.
+	maxLedgerLine = 16 << 20
+)
+
+// BuildInfo identifies the build that produced a record, so `sepwatch
+// history` can attribute drift to a build rather than just a time.
+type BuildInfo struct {
+	// GoVersion is runtime.Version() of the verifying process.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS revision baked into the binary (debug.BuildInfo
+	// vcs.revision), when the binary was built from a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a VCS build with uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+	// Label is an explicit operator-provided build label (`sepwatch
+	// -build`), for builds with no embedded VCS stamp.
+	Label string `json:"label,omitempty"`
+}
+
+// String renders the identity as history listings print it.
+func (b BuildInfo) String() string {
+	id := b.Label
+	if id == "" {
+		id = b.Revision
+		if len(id) > 12 {
+			id = id[:12]
+		}
+		if b.Dirty {
+			id += "+dirty"
+		}
+	}
+	if id == "" {
+		id = "unstamped"
+	}
+	return id + " (" + b.GoVersion + ")"
+}
+
+// RegimeDigest is one regime's trace-projection digest: the Φ^c of the
+// deployment trace, as computed by analyze.Project.
+type RegimeDigest struct {
+	Regime int `json:"regime"`
+	// Events is the length of the regime's observable projection.
+	Events int `json:"events"`
+	// Digest is the projection's canonical FNV-1a digest, 16 hex digits.
+	Digest string `json:"digest"`
+}
+
+// ChannelStat counts one channel's traffic in the deployment trace. A
+// channel whose traffic disappears between builds is the cut-channel
+// regression Zhao et al. frame as the failure mode to watch for.
+type ChannelStat struct {
+	Channel int `json:"chan"`
+	Sends   int `json:"sends"`
+	Recvs   int `json:"recvs"`
+}
+
+// Drift kinds, from most to least alarming.
+const (
+	// DriftVerdictFlip: the verification verdict changed between builds.
+	DriftVerdictFlip = "verdict-flip"
+	// DriftDigest: a regime's trace-projection digest changed — the
+	// deployment is observably different to at least one regime.
+	DriftDigest = "digest-drift"
+	// DriftChannel: a sanctioned channel carried traffic in one build and
+	// none in the other (cut or un-cut between builds).
+	DriftChannel = "channel-regression"
+)
+
+// Drift is one classified difference between consecutive builds of a
+// deployment.
+type Drift struct {
+	// Kind is one of the Drift* constants.
+	Kind string `json:"kind"`
+	// Regime is the diverging regime for digest drift (-1 otherwise).
+	Regime int `json:"regime"`
+	// DivergeAt is the index of the first divergent event in the diverging
+	// regime's projection (-1 when no trace-level divergence was located).
+	DivergeAt int `json:"divergeAt"`
+	// Detail is the human-readable story.
+	Detail string `json:"detail"`
+}
+
+func (d Drift) String() string {
+	if d.Kind == DriftDigest && d.Regime >= 0 {
+		return fmt.Sprintf("%s: regime %d at event %d: %s", d.Kind, d.Regime, d.DivergeAt, d.Detail)
+	}
+	return d.Kind + ": " + d.Detail
+}
+
+// Record is one build's verification outcome for one deployment: the
+// ledger line IS the artifact. All fields are stable JSON.
+type Record struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	// ID is the truncated SHA-256 of this record's canonical JSON with ID
+	// blanked (witness-store conventions).
+	ID string `json:"id"`
+	// PrevID chains this record to its predecessor ("" for the first
+	// build); Seq is the 1-based build number.
+	PrevID string `json:"prevId,omitempty"`
+	Seq    int    `json:"seq"`
+
+	// What was verified.
+	Deployment string             `json:"deployment"`
+	Spec       witness.SystemSpec `json:"spec"`
+	Build      BuildInfo          `json:"build"`
+	// Time is the verification time, unix seconds.
+	Time int64 `json:"time"`
+
+	// Verification parameters and outcome. Exhaustive names the registered
+	// exhaustive target when the verdict came from a sharded exhaustive
+	// sweep; otherwise Trials x Steps randomized checking produced it.
+	Seed       int64  `json:"seed"`
+	Trials     int    `json:"trials,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+	Exhaustive string `json:"exhaustive,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	Passed     bool   `json:"passed"`
+	// Checks totals the verified condition instances; States the states
+	// they were checked at.
+	Checks int `json:"checks"`
+	States int `json:"states"`
+	// Violations carries the first few counterexamples behind a FAIL.
+	Violations []separability.ViolationRecord `json:"violations,omitempty"`
+
+	// The canonical deployment trace: step/event counts, the
+	// content-address of the JSONL blob, per-regime projection digests and
+	// their combined digest, and per-channel traffic.
+	TraceSteps  int            `json:"traceSteps,omitempty"`
+	TraceEvents int            `json:"traceEvents"`
+	TraceBlob   string         `json:"traceBlob,omitempty"`
+	TraceDigest string         `json:"traceDigest"`
+	Regimes     []RegimeDigest `json:"regimes,omitempty"`
+	Channels    []ChannelStat  `json:"channels,omitempty"`
+
+	// Drift classifies this build against its predecessor (empty for the
+	// first build and for builds identical to their predecessor).
+	Drift []Drift `json:"drift,omitempty"`
+}
+
+func (r *Record) computeID() (string, error) {
+	cp := *r
+	cp.ID = ""
+	return witness.ContentID(&cp)
+}
+
+// Validate checks the structural invariants of one record in isolation
+// (the chain invariants need the predecessor; Records checks those).
+func (r *Record) Validate() error {
+	if r.Version != LedgerSchemaVersion {
+		return fmt.Errorf("unsupported build-record version %d", r.Version)
+	}
+	if r.Kind != KindBuildRecord {
+		return fmt.Errorf("kind %q, want %q", r.Kind, KindBuildRecord)
+	}
+	id, err := r.computeID()
+	if err != nil {
+		return err
+	}
+	if r.ID != id {
+		return fmt.Errorf("ID %q does not match content %q: line truncated or tampered", r.ID, id)
+	}
+	if r.Seq < 1 {
+		return fmt.Errorf("record %s: seq %d < 1", r.ID, r.Seq)
+	}
+	if r.Deployment == "" {
+		return fmt.Errorf("record %s: no deployment name", r.ID)
+	}
+	if r.TraceBlob != "" {
+		if len(r.TraceBlob) != 64 {
+			return fmt.Errorf("record %s: trace blob address %q is not a sha256", r.ID, r.TraceBlob)
+		}
+		if _, err := hex.DecodeString(r.TraceBlob); err != nil {
+			return fmt.Errorf("record %s: trace blob address: %w", r.ID, err)
+		}
+	}
+	if len(r.TraceDigest) != 16 {
+		return fmt.Errorf("record %s: trace digest %q is not 16 hex digits", r.ID, r.TraceDigest)
+	}
+	for _, rd := range r.Regimes {
+		if len(rd.Digest) != 16 {
+			return fmt.Errorf("record %s: regime %d digest %q is not 16 hex digits", r.ID, rd.Regime, rd.Digest)
+		}
+	}
+	for _, d := range r.Drift {
+		switch d.Kind {
+		case DriftVerdictFlip, DriftDigest, DriftChannel:
+		default:
+			return fmt.Errorf("record %s: unknown drift kind %q", r.ID, d.Kind)
+		}
+	}
+	return nil
+}
+
+// deploymentNameRe keeps ledger directories inside the watch root: one
+// path segment, no separators or traversal.
+var deploymentNameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// Ledger is one deployment's append-only build history.
+type Ledger struct {
+	dir        string
+	deployment string
+}
+
+// OpenLedger opens (without creating anything yet) the ledger for one
+// deployment under the watch root directory.
+func OpenLedger(root, deployment string) (*Ledger, error) {
+	if !deploymentNameRe.MatchString(deployment) {
+		return nil, fmt.Errorf("watch: deployment name %q is not a valid ledger directory name", deployment)
+	}
+	return &Ledger{dir: filepath.Join(root, deployment), deployment: deployment}, nil
+}
+
+// Dir returns the ledger's directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Records reads and validates the full history, oldest first. Every line
+// must carry a content-consistent ID, name this ledger's deployment, and
+// chain to its predecessor (Seq increments from 1, PrevID pins the prior
+// record's ID). A missing ledger file is an empty history, not an error.
+func (l *Ledger) Records() ([]*Record, error) {
+	f, err := os.Open(filepath.Join(l.dir, ledgerName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadLedger(f)
+	if err != nil {
+		return nil, fmt.Errorf("watch: %s: %w", filepath.Join(l.dir, ledgerName), err)
+	}
+	for _, r := range recs {
+		if r.Deployment != l.deployment {
+			return nil, fmt.Errorf("watch: %s: record %s names deployment %q",
+				filepath.Join(l.dir, ledgerName), r.ID, r.Deployment)
+		}
+	}
+	return recs, nil
+}
+
+// ReadLedger decodes a ledger.jsonl stream, enforcing per-record and chain
+// invariants. The decoder is total: arbitrary bytes yield records or an
+// error, never a panic.
+func ReadLedger(r io.Reader) ([]*Record, error) {
+	var out []*Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLedgerLine)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec := &Record{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		if len(out) == 0 {
+			if rec.Seq != 1 || rec.PrevID != "" {
+				return nil, fmt.Errorf("line %d: record %s does not start a chain (seq %d, prevId %q)",
+					ln, rec.ID, rec.Seq, rec.PrevID)
+			}
+		} else {
+			prev := out[len(out)-1]
+			if rec.Seq != prev.Seq+1 {
+				return nil, fmt.Errorf("line %d: seq %d after %d: ledger reordered or truncated",
+					ln, rec.Seq, prev.Seq)
+			}
+			if rec.PrevID != prev.ID {
+				return nil, fmt.Errorf("line %d: prevId %q does not chain to %s: ledger edited",
+					ln, rec.PrevID, prev.ID)
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Head returns the most recent record (nil for an empty ledger).
+func (l *Ledger) Head() (*Record, error) {
+	recs, err := l.Records()
+	if err != nil || len(recs) == 0 {
+		return nil, err
+	}
+	return recs[len(recs)-1], nil
+}
+
+// Append chains rec onto the ledger and persists it together with its
+// trace blob. The chain fields (Seq, PrevID), the blob address and the ID
+// are computed here; callers fill everything else. The ledger is
+// single-writer: one sepwatch process owns a watch directory.
+func (l *Ledger) Append(rec *Record, trace []byte) error {
+	head, err := l.Head()
+	if err != nil {
+		return err
+	}
+	rec.Version = LedgerSchemaVersion
+	rec.Kind = KindBuildRecord
+	rec.Deployment = l.deployment
+	if head == nil {
+		rec.Seq, rec.PrevID = 1, ""
+	} else {
+		rec.Seq, rec.PrevID = head.Seq+1, head.ID
+	}
+	if trace != nil {
+		rec.TraceBlob = witness.HashHex(trace)
+	}
+	id, err := rec.computeID()
+	if err != nil {
+		return err
+	}
+	rec.ID = id
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("watch: refusing to append invalid record: %w", err)
+	}
+
+	if err := os.MkdirAll(filepath.Join(l.dir, blobsDir), 0o755); err != nil {
+		return err
+	}
+	if trace != nil {
+		bp := filepath.Join(l.dir, blobsDir, rec.TraceBlob)
+		if _, err := os.Stat(bp); os.IsNotExist(err) {
+			// Content-addressed: an identical trace (the idempotent
+			// re-verification case) is stored once. Atomic write keeps a
+			// concurrent reader off torn blobs.
+			if err := witness.AtomicWriteFile(bp, trace); err != nil {
+				return err
+			}
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, ledgerName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads, verifies and decodes rec's trace blob. A record with no
+// blob yields (nil, nil).
+func (l *Ledger) LoadTrace(rec *Record) ([]obs.Event, error) {
+	if rec.TraceBlob == "" {
+		return nil, nil
+	}
+	b, err := os.ReadFile(filepath.Join(l.dir, blobsDir, rec.TraceBlob))
+	if err != nil {
+		return nil, err
+	}
+	if witness.HashHex(b) != rec.TraceBlob {
+		return nil, fmt.Errorf("watch: record %s: trace blob corrupt (hash mismatch)", rec.ID)
+	}
+	return obs.ReadJSONL(bytes.NewReader(b))
+}

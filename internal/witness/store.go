@@ -30,9 +30,52 @@ const (
 	maxManifestLine = 16 << 20
 )
 
-func hashHex(b []byte) string {
+// HashHex is the store's content address function: the SHA-256 of b in
+// lowercase hex. Exported because other artifact stores in this repository
+// (shard artifacts, the sepwatch build ledger) follow the same conventions
+// and must address identical bytes identically.
+func HashHex(b []byte) string {
 	h := sha256.Sum256(b)
 	return hex.EncodeToString(h[:])
+}
+
+func hashHex(b []byte) string { return HashHex(b) }
+
+// ContentID derives the 16-hex-digit short content address used for
+// manifest/ledger record IDs: the truncated SHA-256 of the record's
+// canonical JSON. The caller must blank the record's own ID field first,
+// exactly as computeID does for witnesses.
+func ContentID(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return HashHex(b)[:16], nil
+}
+
+// AtomicWriteFile writes b through a same-directory temp file plus rename,
+// so concurrent readers (and a process killed mid-write) observe either
+// the previous complete file or the new one, never a torn artifact.
+func AtomicWriteFile(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // canonicalJSON is the byte form IDs are computed over and manifest lines
@@ -48,11 +91,7 @@ func canonicalJSON(w *Witness) ([]byte, error) {
 func computeID(w *Witness) (string, error) {
 	cp := *w
 	cp.ID = ""
-	b, err := canonicalJSON(&cp)
-	if err != nil {
-		return "", err
-	}
-	return hashHex(b)[:16], nil
+	return ContentID(&cp)
 }
 
 // writeWitness persists w into dir, creating the layout as needed. The
